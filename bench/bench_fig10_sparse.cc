@@ -1,0 +1,102 @@
+/// \file bench_fig10_sparse.cc
+/// Experiment E3 — the paper's headline claim (Sec. 1, Fig. 10a of the
+/// extended report [4]): under a hard memory budget, RDBMS-based simulation
+/// handles far more qubits than the conventional dense method on *sparse*
+/// circuits, because the state relation stores only nonzero amplitudes.
+///
+/// We sweep each backend for the maximum feasible qubit count under the
+/// budget (default 256 MiB so the sweep stays laptop-friendly; the paper's
+/// 2 GiB only shifts the dense limit from 23 to 26 qubits). The integer
+/// state index caps relational/sparse backends at 126 qubits — documented in
+/// DESIGN.md; the paper's 3,118x uses arbitrary-width indices.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/report.h"
+#include "common/strings.h"
+#include "bench/runner.h"
+#include "bench/workloads.h"
+#include "circuit/families.h"
+#include "sim/statevector.h"
+
+namespace {
+
+using namespace qy;
+using bench::Backend;
+
+uint64_t BudgetBytes() {
+  const char* env = std::getenv("QY_BUDGET_MIB");
+  uint64_t mib = env != nullptr ? std::strtoull(env, nullptr, 10) : 256;
+  return mib << 20;
+}
+
+void PrintMaxQubitsTable() {
+  uint64_t budget = BudgetBytes();
+  std::printf("Memory budget: %s (paper: 2.0 GB). Search range: 4..126 "
+              "qubits.\n", bench::FormatBytes(budget).c_str());
+
+  bench::TableReport report({"workload", "qymera-sql", "statevector",
+                             "sparse", "mps", "dd", "sql/dense ratio"});
+  for (const char* name : {"ghz", "parity", "sparse_phase"}) {
+    auto workload = bench::FindWorkload(name);
+    std::vector<std::string> row = {name};
+    int sql_max = 0, sv_max = 0;
+    for (Backend backend : bench::MainBackends()) {
+      int hi = 126;
+      if (backend == Backend::kStatevector) {
+        hi = sim::StatevectorSimulator::MaxQubitsForBudget(budget) + 1;
+      }
+      int max_n = bench::MaxQubitsUnderBudget(backend, workload->make, budget,
+                                              /*lo=*/4, hi, /*step=*/16);
+      if (backend == Backend::kQymeraSql) sql_max = max_n;
+      if (backend == Backend::kStatevector) sv_max = max_n;
+      row.push_back(max_n >= 126 ? ">=126 (index cap)" : std::to_string(max_n));
+    }
+    row.push_back(sv_max > 0
+                      ? qy::StrFormat("%.1fx", static_cast<double>(sql_max) /
+                                                   sv_max)
+                      : "inf");
+    report.AddRow(std::move(row));
+  }
+  report.Print("E3: max qubits under memory budget (sparse circuits)");
+  std::printf(
+      "\nShape check vs paper: the RDBMS backend simulates sparse circuits\n"
+      "far beyond the dense state-vector's memory wall (paper reports up to\n"
+      "3,118x more qubits with arbitrary-width indices; our 128-bit index\n"
+      "caps the measurable ratio at %d/dense-limit).\n", 126);
+}
+
+void BM_QymeraGhz64(benchmark::State& state) {
+  sim::SimOptions options;
+  options.memory_budget_bytes = BudgetBytes();
+  for (auto _ : state) {
+    auto r = bench::RunSummaryOnly(Backend::kQymeraSql, qc::Ghz(64), options);
+    if (!r.ok) state.SkipWithError(r.error.c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_QymeraGhz64)->Unit(benchmark::kMillisecond);
+
+void BM_QymeraGhz100(benchmark::State& state) {
+  sim::SimOptions options;
+  options.memory_budget_bytes = BudgetBytes();
+  for (auto _ : state) {
+    auto r = bench::RunSummaryOnly(Backend::kQymeraSql, qc::Ghz(100), options);
+    if (!r.ok) state.SkipWithError(r.error.c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_QymeraGhz100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E3: sparse circuits under a memory budget "
+              "(Fig. 10a of [4]) ====\n\n");
+  PrintMaxQubitsTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

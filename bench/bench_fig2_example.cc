@@ -1,0 +1,90 @@
+/// \file bench_fig2_example.cc
+/// Experiment E1 — the paper's running example (Fig. 2): 3-qubit GHZ
+/// translated to SQL. Prints the intermediate state tables T1..T3 exactly as
+/// in Fig. 2c, then micro-benchmarks translation and end-to-end execution.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/report.h"
+#include "circuit/families.h"
+#include "core/qymera_sim.h"
+#include "sim/statevector.h"
+
+namespace {
+
+using namespace qy;
+
+void PrintFig2Tables() {
+  core::QymeraOptions options;
+  core::QymeraSimulator simulator(options);
+  std::printf("Per-gate queries (q1, q2, q3 of Fig. 2c):\n");
+  auto translation = simulator.Translate(qc::Ghz(3));
+  for (const auto& step : translation->steps) {
+    std::printf("  %s := %s\n", step.output_table.c_str(),
+                step.select_sql.substr(0, 118).c_str());
+  }
+  std::printf("\nIntermediate states (Fig. 2c boxes):\n");
+  simulator.set_step_callback(
+      [](size_t step, const qc::Gate& gate, const sim::SparseState& state) {
+        std::printf("  T%zu after %-7s:", step + 1, gate.ToString().c_str());
+        for (const auto& [idx, amp] : state.amplitudes()) {
+          std::printf(" (s=%s, r=%.4f, i=%.4f)",
+                      UInt128ToString(idx).c_str(), amp.real(), amp.imag());
+        }
+        std::printf("\n");
+        return Status::OK();
+      });
+  auto state = simulator.Run(qc::Ghz(3));
+  if (state.ok()) {
+    std::printf("Final output state T3: %s\n\n", state->ToString().c_str());
+  }
+}
+
+void BM_TranslateGhz3(benchmark::State& state) {
+  core::QymeraSimulator simulator{core::QymeraOptions{}};
+  for (auto _ : state) {
+    auto t = simulator.Translate(qc::Ghz(3));
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_TranslateGhz3)->Unit(benchmark::kMicrosecond);
+
+void BM_RunGhz3Sql(benchmark::State& state) {
+  core::QymeraSimulator simulator{core::QymeraOptions{}};
+  for (auto _ : state) {
+    auto result = simulator.Run(qc::Ghz(3));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RunGhz3Sql)->Unit(benchmark::kMillisecond);
+
+void BM_RunGhz3SingleQuery(benchmark::State& state) {
+  core::QymeraOptions options;
+  options.mode = core::QymeraOptions::Mode::kSingleQuery;
+  core::QymeraSimulator simulator(options);
+  for (auto _ : state) {
+    auto result = simulator.Run(qc::Ghz(3));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RunGhz3SingleQuery)->Unit(benchmark::kMillisecond);
+
+void BM_RunGhz3Statevector(benchmark::State& state) {
+  sim::StatevectorSimulator simulator;
+  for (auto _ : state) {
+    auto result = simulator.Run(qc::Ghz(3));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RunGhz3Statevector)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E1: running example (paper Fig. 2) ====\n\n");
+  PrintFig2Tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+/// \file bench_fusion_ablation.cc
+/// Experiment E8 — gate fusion ablation (paper Sec. 3.2 "consecutive gates
+/// are fused into single SQL query where possible, minimizing intermediate
+/// results"). Sweeps the fusion cap from off to 4 qubits and reports query
+/// count, wall time and intermediate-result volume.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+#include "circuit/families.h"
+#include "core/fusion.h"
+
+namespace {
+
+using namespace qy;
+using bench::Backend;
+
+void PrintTable() {
+  struct Config {
+    std::string label;
+    bool enabled;
+    int max_qubits;
+  };
+  Config configs[] = {
+      {"off", false, 0}, {"max 2", true, 2}, {"max 3", true, 3},
+      {"max 4", true, 4}};
+
+  bench::TableReport report({"circuit", "fusion", "sql queries", "time",
+                             "max intermediate rows"});
+  struct Work {
+    std::string name;
+    qc::QuantumCircuit circuit;
+  };
+  Work works[] = {
+      {"random_dense(10, d4)", qc::RandomDense(10, 4, 11)},
+      {"qft(8)", qc::Qft(8)},
+      {"hea(10, l3)", qc::HardwareEfficientAnsatz(10, 3, 5)},
+  };
+  for (const Work& work : works) {
+    for (const Config& config : configs) {
+      core::QymeraOptions options;
+      options.enable_fusion = config.enabled;
+      options.fusion.max_qubits = config.max_qubits;
+      core::QymeraSimulator simulator(options);
+      int queries = static_cast<int>(work.circuit.NumGates());
+      if (config.enabled) {
+        core::FusionStats stats;
+        auto fused =
+            core::FuseGates(work.circuit, options.fusion, &stats);
+        if (fused.ok()) queries = stats.gates_after;
+      }
+      auto summary = simulator.Execute(work.circuit);
+      report.AddRow(
+          {work.name, config.label, std::to_string(queries),
+           summary.ok() ? bench::FormatSeconds(summary->metrics.wall_seconds)
+                        : summary.status().ToString(),
+           summary.ok() ? std::to_string(summary->max_intermediate_rows)
+                        : ""});
+    }
+  }
+  report.Print("E8: gate fusion ablation (Sec. 3.2 query optimization)");
+  std::printf("\nFewer SQL queries -> fewer materialized intermediates; the\n"
+              "4^k-row gate tables bound how far fusing pays off.\n");
+}
+
+void BM_DenseFusionOff(benchmark::State& state) {
+  core::QymeraOptions options;
+  core::QymeraSimulator simulator(options);
+  qc::QuantumCircuit circuit = qc::RandomDense(10, 4, 11);
+  for (auto _ : state) {
+    auto r = simulator.Execute(circuit);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DenseFusionOff)->Unit(benchmark::kMillisecond);
+
+void BM_DenseFusionMax3(benchmark::State& state) {
+  core::QymeraOptions options;
+  options.enable_fusion = true;
+  options.fusion.max_qubits = 3;
+  core::QymeraSimulator simulator(options);
+  qc::QuantumCircuit circuit = qc::RandomDense(10, 4, 11);
+  for (auto _ : state) {
+    auto r = simulator.Execute(circuit);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DenseFusionMax3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E8: gate fusion ablation ====\n\n");
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+/// \file bench_ghz_scaling.cc
+/// Experiment E5 — demo scenario 2, workload 1: GHZ state preparation across
+/// all backends as qubit count grows. Time and memory per backend; the dense
+/// state-vector drops out once 16 * 2^n exceeds the (unlimited here) range
+/// we sweep, every sparse-aware backend stays flat.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+#include "circuit/families.h"
+
+namespace {
+
+using namespace qy;
+using bench::Backend;
+
+void PrintScalingTable() {
+  sim::SimOptions options;
+  bench::TableReport report(
+      {"n", "backend", "time", "peak memory", "nonzeros"});
+  for (int n : {8, 16, 24, 48, 96}) {
+    for (Backend backend : bench::MainBackends()) {
+      if (backend == Backend::kStatevector && n > 24) {
+        report.AddRow({std::to_string(n), bench::BackendName(backend),
+                       "skipped (2^" + std::to_string(n) + " amplitudes)", "",
+                       ""});
+        continue;
+      }
+      bench::RunResult r =
+          bench::RunSummaryOnly(backend, qc::Ghz(n), options);
+      report.AddRow({std::to_string(n), bench::BackendName(backend),
+                     r.ok ? bench::FormatSeconds(r.seconds) : r.error,
+                     r.ok ? bench::FormatBytes(r.peak_bytes) : "",
+                     r.ok ? std::to_string(r.nnz) : ""});
+    }
+  }
+  report.Print("E5: GHZ preparation scaling (demo scenario 2)");
+}
+
+void RegisterScalingBenchmarks() {}
+
+void BM_GhzSql(benchmark::State& state) {
+  sim::SimOptions options;
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = bench::RunSummaryOnly(Backend::kQymeraSql, qc::Ghz(n), options);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GhzSql)->Arg(8)->Arg(32)->Arg(96)->Unit(benchmark::kMillisecond);
+
+void BM_GhzDd(benchmark::State& state) {
+  sim::SimOptions options;
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = bench::RunOnce(Backend::kDd, qc::Ghz(n), options);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GhzDd)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E5: GHZ scaling across backends ====\n\n");
+  PrintScalingTable();
+  RegisterScalingBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,103 @@
+/// \file bench_out_of_core.cc
+/// Experiment E9 — out-of-core simulation (paper Sec. 3.3): sweep the memory
+/// budget below the working set and show the relational backend completing
+/// via aggregate spill while in-memory backends fail. Also ablates
+/// spill-disabled to isolate the mechanism.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+#include "circuit/families.h"
+
+namespace {
+
+using namespace qy;
+using bench::Backend;
+
+constexpr int kQubits = 17;  // 2^17 rows ~ 3 MiB relational state
+
+void PrintTable() {
+  qc::QuantumCircuit circuit = qc::EqualSuperposition(kQubits);
+  bench::TableReport report({"budget", "backend", "outcome", "time",
+                             "rows spilled"});
+  for (uint64_t budget_mib : {0ull, 16ull, 8ull, 7ull}) {
+    sim::SimOptions options;
+    if (budget_mib > 0) options.memory_budget_bytes = budget_mib << 20;
+    std::string budget_label =
+        budget_mib == 0 ? "unlimited" : std::to_string(budget_mib) + " MiB";
+    for (Backend backend :
+         {Backend::kQymeraSql, Backend::kStatevector, Backend::kSparse}) {
+      bench::RunResult r = bench::RunSummaryOnly(backend, circuit, options);
+      uint64_t spilled = 0;
+      if (backend == Backend::kQymeraSql && r.ok) {
+        core::QymeraOptions qopts;
+        qopts.base = options;
+        core::QymeraSimulator simulator(qopts);
+        auto summary = simulator.Execute(circuit);
+        if (summary.ok()) spilled = summary->rows_spilled;
+      }
+      report.AddRow({budget_label, bench::BackendName(backend),
+                     r.ok ? "completed" : r.error,
+                     r.ok ? bench::FormatSeconds(r.seconds) : "",
+                     backend == Backend::kQymeraSql ? std::to_string(spilled)
+                                                    : "-"});
+    }
+  }
+  // Ablation: same budget, spill disabled.
+  {
+    sim::SimOptions options;
+    options.memory_budget_bytes = 8ull << 20;
+    core::QymeraOptions qopts;
+    qopts.base = options;
+    qopts.enable_spill = false;
+    core::QymeraSimulator simulator(qopts);
+    auto summary = simulator.Execute(circuit);
+    report.AddRow({"8 MiB", "qymera-sql (spill off)",
+                   summary.ok() ? "completed" : summary.status().ToString(),
+                   "", "-"});
+  }
+  report.Print("E9: out-of-core sweep, equal superposition n=" +
+               std::to_string(kQubits));
+  std::printf(
+      "\nReading: the relational backend degrades gracefully — spilled rows\n"
+      "grow as the budget shrinks — and still completes at 7 MiB where the\n"
+      "sparse hash map (~8.4 MiB working set) fails; disabling the spill\n"
+      "reproduces that failure inside the RDBMS. The dense vector survives\n"
+      "here only because a dense array is the most compact encoding of a\n"
+      "fully dense state (see E3 for the sparse-circuit contrast, where it\n"
+      "is the first to fall).\n");
+}
+
+void BM_OutOfCore8MiB(benchmark::State& state) {
+  sim::SimOptions options;
+  options.memory_budget_bytes = 8ull << 20;
+  for (auto _ : state) {
+    auto r = bench::RunSummaryOnly(Backend::kQymeraSql,
+                                   qc::EqualSuperposition(kQubits), options);
+    if (!r.ok) state.SkipWithError(r.error.c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OutOfCore8MiB)->Unit(benchmark::kMillisecond);
+
+void BM_InMemoryUnlimited(benchmark::State& state) {
+  sim::SimOptions options;
+  for (auto _ : state) {
+    auto r = bench::RunSummaryOnly(Backend::kQymeraSql,
+                                   qc::EqualSuperposition(kQubits), options);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_InMemoryUnlimited)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E9: out-of-core simulation (Sec. 3.3) ====\n\n");
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

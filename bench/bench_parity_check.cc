@@ -1,0 +1,61 @@
+/// \file bench_parity_check.cc
+/// Experiment E7 — demo scenario 1: the quantum parity-check algorithm.
+/// A maximally sparse circuit (a single basis state throughout); measures
+/// end-to-end SQL execution against all backends as the input grows.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+#include "bench/workloads.h"
+#include "circuit/families.h"
+
+namespace {
+
+using namespace qy;
+using bench::Backend;
+
+void PrintTable() {
+  sim::SimOptions options;
+  auto workload = bench::FindWorkload("parity");
+  bench::TableReport report(
+      {"data bits", "backend", "time", "peak memory", "gates"});
+  for (int n : {8, 16, 32, 64}) {
+    qc::QuantumCircuit circuit = workload->make(n);
+    for (Backend backend : bench::MainBackends()) {
+      if (backend == Backend::kStatevector && n > 24) {
+        report.AddRow({std::to_string(n), bench::BackendName(backend),
+                       "skipped (dense)", "", ""});
+        continue;
+      }
+      bench::RunResult r = bench::RunSummaryOnly(backend, circuit, options);
+      report.AddRow({std::to_string(n), bench::BackendName(backend),
+                     r.ok ? bench::FormatSeconds(r.seconds) : r.error,
+                     r.ok ? bench::FormatBytes(r.peak_bytes) : "",
+                     std::to_string(circuit.NumGates())});
+    }
+  }
+  report.Print("E7: parity-check algorithm (demo scenario 1)");
+}
+
+void BM_ParitySql(benchmark::State& state) {
+  sim::SimOptions options;
+  auto workload = bench::FindWorkload("parity");
+  qc::QuantumCircuit circuit = workload->make(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = bench::RunSummaryOnly(Backend::kQymeraSql, circuit, options);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ParitySql)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E7: quantum parity check ====\n\n");
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

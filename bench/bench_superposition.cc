@@ -1,0 +1,68 @@
+/// \file bench_superposition.cc
+/// Experiment E6 — demo scenario 2, workload 2: equal superposition of all
+/// 2^n states. The fully dense adversary for relational simulation: every
+/// gate doubles the state relation, so this measures raw join+aggregate
+/// throughput against the in-memory backends.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+#include "circuit/families.h"
+
+namespace {
+
+using namespace qy;
+using bench::Backend;
+
+void PrintTable() {
+  sim::SimOptions options;
+  bench::TableReport report(
+      {"n", "backend", "time", "peak memory", "rows/amplitudes"});
+  for (int n : {8, 12, 16, 18}) {
+    for (Backend backend : bench::MainBackends()) {
+      bench::RunResult r = bench::RunSummaryOnly(
+          backend, qc::EqualSuperposition(n), options);
+      report.AddRow({std::to_string(n), bench::BackendName(backend),
+                     r.ok ? bench::FormatSeconds(r.seconds) : r.error,
+                     r.ok ? bench::FormatBytes(r.peak_bytes) : "",
+                     r.ok ? std::to_string(r.nnz) : ""});
+    }
+  }
+  report.Print("E6: equal superposition scaling (demo scenario 2)");
+  std::printf("\nMPS shines here (product state: bond dimension 1); the\n"
+              "relational backend pays one join+aggregate per doubling.\n");
+}
+
+void BM_SuperpositionSql(benchmark::State& state) {
+  sim::SimOptions options;
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = bench::RunSummaryOnly(Backend::kQymeraSql,
+                                   qc::EqualSuperposition(n), options);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SuperpositionSql)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_SuperpositionMps(benchmark::State& state) {
+  sim::SimOptions options;
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = bench::RunSummaryOnly(Backend::kMps, qc::EqualSuperposition(n),
+                                   options);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SuperpositionMps)->Arg(14)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E6: equal superposition across backends ====\n\n");
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,103 @@
+/// \file bench_table1_sql_ops.cc
+/// Experiment E2 — Table 1 of the paper lists the bitwise operators SQL
+/// needs for qubit addressing. This bench measures the engine's vectorized
+/// evaluation of those operators plus the two relational primitives every
+/// gate query is built from (hash join, group-by SUM).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/report.h"
+#include "sql/database.h"
+
+namespace {
+
+using namespace qy;
+using sql::Database;
+using sql::Value;
+
+constexpr int kRows = 1 << 16;
+
+std::unique_ptr<Database> MakeStateTable(bool hugeint) {
+  auto db = std::make_unique<Database>();
+  std::string type = hugeint ? "HUGEINT" : "BIGINT";
+  (void)db->ExecuteScript("CREATE TABLE t (s " + type +
+                          ", r DOUBLE, i DOUBLE)");
+  auto table = db->catalog().GetTable("t");
+  for (int row = 0; row < kRows; ++row) {
+    Value s = hugeint
+                  ? Value::HugeInt(static_cast<int128_t>(row) << 64)
+                  : Value::BigInt(row);
+    (void)(*table)->AppendRow({s, Value::Double(0.5), Value::Double(-0.5)});
+  }
+  return db;
+}
+
+void BenchQuery(benchmark::State& state, Database* db, const std::string& sql) {
+  for (auto _ : state) {
+    auto result = db->Execute(sql);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+void BM_BitwiseMaskShift_BigInt(benchmark::State& state) {
+  auto db = MakeStateTable(false);
+  BenchQuery(state, db.get(),
+             "SELECT COUNT(*) FROM t WHERE ((s & ~7) | ((s >> 3) & 7)) >= 0");
+}
+BENCHMARK(BM_BitwiseMaskShift_BigInt)->Unit(benchmark::kMillisecond);
+
+void BM_BitwiseMaskShift_HugeInt(benchmark::State& state) {
+  auto db = MakeStateTable(true);
+  BenchQuery(state, db.get(),
+             "SELECT COUNT(*) FROM t WHERE ((s & ~7) | ((s >> 3) & 7)) >= 0");
+}
+BENCHMARK(BM_BitwiseMaskShift_HugeInt)->Unit(benchmark::kMillisecond);
+
+void BM_GroupBySum(benchmark::State& state) {
+  auto db = MakeStateTable(false);
+  BenchQuery(state, db.get(),
+             "SELECT COUNT(*) FROM (SELECT s & 1023 AS k, SUM(r) AS sr "
+             "FROM t GROUP BY s & 1023) AS g");
+}
+BENCHMARK(BM_GroupBySum)->Unit(benchmark::kMillisecond);
+
+void BM_HashJoinGateShaped(benchmark::State& state) {
+  auto db = MakeStateTable(false);
+  (void)db->ExecuteScript(
+      "CREATE TABLE g (in_s BIGINT, out_s BIGINT, r DOUBLE, i DOUBLE);"
+      "INSERT INTO g VALUES (0,0,0.707,0.0),(0,1,0.707,0.0),"
+      "(1,0,0.707,0.0),(1,1,-0.707,0.0)");
+  BenchQuery(state, db.get(),
+             "SELECT COUNT(*) FROM t JOIN g ON g.in_s = (t.s & 1)");
+}
+BENCHMARK(BM_HashJoinGateShaped)->Unit(benchmark::kMillisecond);
+
+void BM_FullGateQuery(benchmark::State& state) {
+  auto db = MakeStateTable(false);
+  (void)db->ExecuteScript(
+      "CREATE TABLE g (in_s BIGINT, out_s BIGINT, r DOUBLE, i DOUBLE);"
+      "INSERT INTO g VALUES (0,0,0.707,0.0),(0,1,0.707,0.0),"
+      "(1,0,0.707,0.0),(1,1,-0.707,0.0)");
+  BenchQuery(state, db.get(),
+             "SELECT COUNT(*) FROM (SELECT ((t.s & ~1) | g.out_s) AS s, "
+             "SUM((t.r * g.r) - (t.i * g.i)) AS r, "
+             "SUM((t.r * g.i) + (t.i * g.r)) AS i "
+             "FROM t JOIN g ON g.in_s = (t.s & 1) "
+             "GROUP BY ((t.s & ~1) | g.out_s)) AS applied");
+}
+BENCHMARK(BM_FullGateQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== E2: bitwise/relational primitives (paper Table 1) ====\n");
+  std::printf("Rows per query: %d; operators: & | ~ << >> on BIGINT and "
+              "HUGEINT,\nplus the join+aggregate shape of every gate query.\n\n",
+              kRows);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

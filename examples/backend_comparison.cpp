@@ -1,0 +1,57 @@
+/// \file backend_comparison.cpp
+/// Demonstration scenario 2 (paper Sec. 4): simulation method benchmarking.
+/// Runs GHZ state preparation and the equal superposition of all states
+/// across every backend, reporting execution time, memory and state size —
+/// the comparative analysis that shows when SQL-based simulation wins.
+///
+///   $ ./examples/backend_comparison [n_sparse] [n_dense]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+#include "circuit/families.h"
+
+int main(int argc, char** argv) {
+  using namespace qy;
+  using bench::Backend;
+
+  int n_sparse = argc > 1 ? std::atoi(argv[1]) : 24;
+  int n_dense = argc > 2 ? std::atoi(argv[2]) : 12;
+
+  struct Scenario {
+    std::string title;
+    qc::QuantumCircuit circuit;
+  };
+  Scenario scenarios[] = {
+      {"GHZ state preparation, n=" + std::to_string(n_sparse) + " (sparse)",
+       qc::Ghz(n_sparse)},
+      {"Equal superposition, n=" + std::to_string(n_dense) + " (dense)",
+       qc::EqualSuperposition(n_dense)},
+  };
+
+  sim::SimOptions options;  // unlimited memory: raw speed comparison
+  for (const Scenario& scenario : scenarios) {
+    bench::TableReport report(
+        {"backend", "time", "peak memory", "nonzeros", "backend stat"});
+    for (Backend backend : bench::MainBackends()) {
+      bench::RunResult r =
+          bench::RunOnce(backend, scenario.circuit, options);
+      if (!r.ok) {
+        report.AddRow({bench::BackendName(backend), "failed", r.error, "", ""});
+        continue;
+      }
+      report.AddRow({bench::BackendName(backend),
+                     bench::FormatSeconds(r.seconds),
+                     bench::FormatBytes(r.peak_bytes),
+                     std::to_string(r.nnz),
+                     r.backend_stat_name + "=" + std::to_string(r.backend_stat)});
+    }
+    report.Print(scenario.title);
+  }
+  std::printf(
+      "\nReading: on the sparse GHZ workload the relational backend stores 2\n"
+      "rows regardless of width, while the dense state-vector needs 2^n\n"
+      "amplitudes; on the dense workload the tuned in-memory loop wins.\n");
+  return 0;
+}

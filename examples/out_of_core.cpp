@@ -1,0 +1,68 @@
+/// \file out_of_core.cpp
+/// Out-of-core simulation (paper Sec. 3.3): run a dense circuit whose state
+/// relation exceeds the configured memory budget. The relational backend
+/// spills aggregation partitions to disk and completes; the in-memory
+/// backends hit the wall.
+///
+///   $ ./examples/out_of_core [n] [budget_mib]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+#include "circuit/families.h"
+#include "common/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace qy;
+  using bench::Backend;
+
+  // Defaults chosen so the dense vector (4 MiB at n=18) and the sparse hash
+  // map (~12 MiB) both exceed the budget while the relational backend spills.
+  int n = argc > 1 ? std::atoi(argv[1]) : 18;
+  uint64_t budget_mib = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2;
+
+  qc::QuantumCircuit circuit = qc::EqualSuperposition(n);
+  std::printf("Equal superposition of %d qubits: 2^%d = %llu nonzero "
+              "amplitudes.\nMemory budget: %llu MiB (state needs ~%s in "
+              "relational form).\n",
+              n, n, 1ull << n, static_cast<unsigned long long>(budget_mib),
+              bench::FormatBytes((1ull << n) * 24).c_str());
+
+  sim::SimOptions options;
+  options.memory_budget_bytes = budget_mib << 20;
+
+  bench::TableReport report({"backend", "outcome", "time", "rows spilled"});
+  for (Backend backend :
+       {Backend::kQymeraSql, Backend::kStatevector, Backend::kSparse}) {
+    if (backend == Backend::kQymeraSql) {
+      core::QymeraOptions qopts;
+      core::QymeraSimulator simulator = [&] {
+        qopts.base = options;
+        return core::QymeraSimulator(qopts);
+      }();
+      auto summary = simulator.Execute(circuit);
+      if (summary.ok()) {
+        report.AddRow({"qymera-sql",
+                       "completed (" + std::to_string(summary->final_rows) +
+                           " rows, norm " +
+                           qy::StrFormat("%.6f", summary->norm_squared) + ")",
+                       bench::FormatSeconds(summary->metrics.wall_seconds),
+                       std::to_string(summary->rows_spilled)});
+      } else {
+        report.AddRow({"qymera-sql", summary.status().ToString(), "", ""});
+      }
+      continue;
+    }
+    bench::RunResult r = bench::RunSummaryOnly(backend, circuit, options);
+    report.AddRow({bench::BackendName(backend),
+                   r.ok ? "completed (" + std::to_string(r.nnz) + " rows)"
+                        : r.error,
+                   r.ok ? bench::FormatSeconds(r.seconds) : "", "0"});
+  }
+  report.Print("Out-of-core simulation under a hard memory budget");
+  std::printf("\nThe RDBMS backend finishes by spilling hash-aggregation\n"
+              "partitions to disk — the database feature the paper leverages\n"
+              "for simulations beyond main memory.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "bench/report.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace qy::bench {
+
+std::string TableReport::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += c == 0 ? "" : "  ";
+      line += cell;
+      line.append(widths[c] - cell.size(), ' ');
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render(header_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += c == 0 ? "" : "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+std::string TableReport::ToCsv() const {
+  auto render = [](const std::vector<std::string>& row) {
+    std::vector<std::string> cells;
+    for (const std::string& cell : row) {
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        std::string quoted = "\"";
+        for (char ch : cell) {
+          if (ch == '"') quoted += "\"\"";
+          else quoted += ch;
+        }
+        cells.push_back(quoted + "\"");
+      } else {
+        cells.push_back(cell);
+      }
+    }
+    return qy::StrJoin(cells, ",") + "\n";
+  };
+  std::string out = render(header_);
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+void TableReport::Print(const std::string& title) const {
+  std::printf("\n=== %s ===\n%s", title.c_str(), ToString().c_str());
+  std::fflush(stdout);
+}
+
+std::string FormatSeconds(double seconds) {
+  if (seconds < 0) return "n/a";
+  if (seconds < 1e-3) return qy::StrFormat("%.1f us", seconds * 1e6);
+  if (seconds < 1.0) return qy::StrFormat("%.2f ms", seconds * 1e3);
+  return qy::StrFormat("%.2f s", seconds);
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  return qy::StrFormat("%.1f %s", v, units[u]);
+}
+
+}  // namespace qy::bench

@@ -1,0 +1,39 @@
+/// \file report.h
+/// Aligned-table and CSV reporting for the experiment binaries (paper
+/// Sec. 3.4 Output Layer: performance metrics logged and exportable).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qy::bench {
+
+/// Column-aligned ASCII table accumulating rows of strings.
+class TableReport {
+ public:
+  explicit TableReport(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Render with aligned columns.
+  std::string ToString() const;
+
+  /// Render as CSV (for plotting scripts).
+  std::string ToCsv() const;
+
+  /// Print ToString() to stdout with a title banner.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3 ms" / "4.56 s" style duration formatting.
+std::string FormatSeconds(double seconds);
+
+/// "1.5 KiB" / "2.0 GiB" style byte formatting.
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace qy::bench

@@ -1,0 +1,67 @@
+/// \file runner.h
+/// Backend factory + single-run and max-qubits-under-budget drivers: the
+/// machinery behind every experiment table (paper Sec. 3.3 benchmarking
+/// suite).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/qymera_sim.h"
+#include "sim/simulator.h"
+
+namespace qy::bench {
+
+enum class Backend {
+  kQymeraSql,     ///< the paper's RDBMS method (materialized steps)
+  kStatevector,   ///< dense conventional method
+  kSparse,        ///< sparse hash-map method
+  kMps,           ///< tensor network
+  kDd,            ///< decision diagram
+  kSqlString,     ///< ablation: VARCHAR encoding [6]
+  kSqlTensor,     ///< ablation: column-per-qubit encoding [2]
+};
+
+const char* BackendName(Backend b);
+
+/// All five first-class backends (no ablations).
+std::vector<Backend> MainBackends();
+
+/// Instantiate a backend with shared sim options; `qopts` tweaks apply to
+/// the SQL backends only.
+std::unique_ptr<sim::Simulator> MakeSimulator(
+    Backend backend, const sim::SimOptions& options,
+    const core::QymeraOptions* qopts = nullptr);
+
+/// Outcome of one (backend, circuit) run.
+struct RunResult {
+  bool ok = false;
+  std::string error;           ///< failure reason (e.g. OutOfMemory)
+  double seconds = 0;
+  uint64_t peak_bytes = 0;
+  uint64_t nnz = 0;            ///< nonzero amplitudes of the final state
+  uint64_t backend_stat = 0;
+  std::string backend_stat_name;
+  double norm_squared = 0;
+};
+
+/// Run one circuit on one backend (reads the full state back).
+RunResult RunOnce(Backend backend, const qc::QuantumCircuit& circuit,
+                  const sim::SimOptions& options,
+                  const core::QymeraOptions* qopts = nullptr);
+
+/// Run without client-side state materialization (SQL backend keeps the
+/// state relational; others still materialize). Used by out-of-core benches.
+RunResult RunSummaryOnly(Backend backend, const qc::QuantumCircuit& circuit,
+                         const sim::SimOptions& options,
+                         const core::QymeraOptions* qopts = nullptr);
+
+/// Largest n in [lo, hi] for which `make(n)` still succeeds on `backend`
+/// under the budget (linear scan with `step`, refined by 1). Returns lo-1
+/// when even `lo` fails.
+int MaxQubitsUnderBudget(Backend backend,
+                         const std::function<qc::QuantumCircuit(int)>& make,
+                         uint64_t budget_bytes, int lo, int hi, int step = 4);
+
+}  // namespace qy::bench

@@ -1,0 +1,42 @@
+#include "bench/workloads.h"
+
+#include "circuit/families.h"
+#include "common/random.h"
+
+namespace qy::bench {
+
+std::vector<Workload> StandardWorkloads() {
+  std::vector<Workload> out;
+  out.push_back({"ghz", true, [](int n) { return qc::Ghz(n); }});
+  out.push_back({"parity", true, [](int n) {
+                   qy::Rng rng(uint64_t{0xC0FFEE} + static_cast<uint64_t>(n));
+                   std::vector<int> bits(n > 1 ? n - 1 : 1);
+                   for (auto& b : bits) {
+                     b = static_cast<int>(rng.UniformInt(0, 1));
+                   }
+                   return qc::ParityCheck(bits);
+                 }});
+  out.push_back({"sparse_phase", true, [](int n) {
+                   return qc::SparsePhase(n, 4 * n, /*seed=*/17);
+                 }});
+  out.push_back({"sparse_perm", true, [](int n) {
+                   return qc::RandomSparse(n, 6 * n, /*seed=*/23,
+                                           /*superposed_qubits=*/4);
+                 }});
+  out.push_back({"superposition", false,
+                 [](int n) { return qc::EqualSuperposition(n); }});
+  out.push_back({"qft", false, [](int n) { return qc::Qft(n); }});
+  out.push_back({"random_dense", false, [](int n) {
+                   return qc::RandomDense(n, 4, /*seed=*/11);
+                 }});
+  return out;
+}
+
+qy::Result<Workload> FindWorkload(const std::string& name) {
+  for (Workload& w : StandardWorkloads()) {
+    if (w.name == name) return w;
+  }
+  return qy::Status::NotFound("unknown workload: " + name);
+}
+
+}  // namespace qy::bench

@@ -1,0 +1,35 @@
+/// \file workloads.h
+/// Named benchmark workloads (paper Sec. 4: GHZ preparation, equal
+/// superposition, parity check; Sec. 1: sparse vs dense circuit families).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qy::bench {
+
+/// A circuit family parameterized by qubit count.
+struct Workload {
+  std::string name;
+  /// True when the state stays sparse (nonzeros do not scale with 2^n).
+  bool sparse;
+  std::function<qc::QuantumCircuit(int n)> make;
+};
+
+/// The standard workload set used across the benches:
+///   ghz            — sparse, 2 nonzeros (demo scenarios 2+3)
+///   parity         — sparse, 1 nonzero (demo scenario 1; random input bits)
+///   sparse_phase   — sparse, GHZ backbone + phase layers
+///   sparse_perm    — sparse, reversible-logic layers over 4 superposed qubits
+///   superposition  — dense, 2^n nonzeros (demo scenario 2)
+///   qft            — dense, 2^n nonzeros
+///   random_dense   — dense rotation+CX layers (depth 4)
+std::vector<Workload> StandardWorkloads();
+
+/// Lookup by name (kNotFound on miss).
+qy::Result<Workload> FindWorkload(const std::string& name);
+
+}  // namespace qy::bench

@@ -1,0 +1,158 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace qy::qc {
+
+QuantumCircuit::QuantumCircuit(int num_qubits, std::string name)
+    : num_qubits_(num_qubits), name_(std::move(name)) {
+  if (num_qubits < 1) {
+    status_ = Status::InvalidArgument("circuit needs at least one qubit");
+    num_qubits_ = 1;
+  }
+  if (num_qubits > 126) {
+    status_ = Status::InvalidArgument(
+        "at most 126 qubits supported (128-bit state index)");
+  }
+}
+
+Status QuantumCircuit::AddGate(Gate gate) {
+  // Qubit validation.
+  for (int q : gate.qubits) {
+    if (q < 0 || q >= num_qubits_) {
+      return Status::InvalidArgument("qubit " + std::to_string(q) +
+                                     " out of range for " +
+                                     std::to_string(num_qubits_) + "-qubit circuit");
+    }
+  }
+  for (size_t i = 0; i < gate.qubits.size(); ++i) {
+    for (size_t j = i + 1; j < gate.qubits.size(); ++j) {
+      if (gate.qubits[i] == gate.qubits[j]) {
+        return Status::InvalidArgument("duplicate qubit in gate " +
+                                       gate.ToString());
+      }
+    }
+  }
+  int arity = GateArity(gate.type);
+  if (arity > 0 && static_cast<int>(gate.qubits.size()) != arity) {
+    return Status::InvalidArgument(
+        std::string(GateTypeName(gate.type)) + " acts on " +
+        std::to_string(arity) + " qubits, got " +
+        std::to_string(gate.qubits.size()));
+  }
+  // Parameter count + custom matrix validation via MatrixForGate.
+  QY_ASSIGN_OR_RETURN(GateMatrix m, MatrixForGate(gate));
+  if (gate.type == GateType::kCustom) {
+    int want = 1;
+    while ((1 << want) < m.dim) ++want;
+    if (static_cast<int>(gate.qubits.size()) != want) {
+      return Status::InvalidArgument(
+          "custom gate dimension does not match qubit count");
+    }
+  }
+  gates_.push_back(std::move(gate));
+  return Status::OK();
+}
+
+QuantumCircuit& QuantumCircuit::Apply(Gate gate) {
+  Status s = AddGate(std::move(gate));
+  if (!s.ok() && status_.ok()) status_ = s;
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::CRY(double theta, int control, int target) {
+  RY(theta / 2, target);
+  CX(control, target);
+  RY(-theta / 2, target);
+  CX(control, target);
+  return *this;
+}
+
+QuantumCircuit& QuantumCircuit::Compose(const QuantumCircuit& other) {
+  if (!other.status().ok() && status_.ok()) status_ = other.status();
+  for (const Gate& g : other.gates()) Apply(g);
+  return *this;
+}
+
+int QuantumCircuit::Depth() const {
+  std::vector<int> level(num_qubits_, 0);
+  int depth = 0;
+  for (const Gate& g : gates_) {
+    int start = 0;
+    for (int q : g.qubits) start = std::max(start, level[q]);
+    for (int q : g.qubits) level[q] = start + 1;
+    depth = std::max(depth, start + 1);
+  }
+  return depth;
+}
+
+std::map<std::string, int> QuantumCircuit::GateCounts() const {
+  std::map<std::string, int> counts;
+  for (const Gate& g : gates_) ++counts[GateTypeName(g.type)];
+  return counts;
+}
+
+int QuantumCircuit::TwoQubitGateCount() const {
+  int n = 0;
+  for (const Gate& g : gates_) {
+    if (g.qubits.size() >= 2) ++n;
+  }
+  return n;
+}
+
+std::string QuantumCircuit::ToAscii() const {
+  // Column-per-gate layout: q0: ──H────●──
+  //                         q1: ───────X──
+  std::vector<std::string> rows(num_qubits_);
+  auto pad_to = [&](size_t width) {
+    for (auto& r : rows) {
+      while (r.size() < width) r += "-";
+    }
+  };
+  for (const Gate& g : gates_) {
+    size_t width = 0;
+    for (const auto& r : rows) width = std::max(width, r.size());
+    pad_to(width + 1);
+    std::string label = GateTypeName(g.type);
+    label = AsciiToUpper(label);
+    if (!g.params.empty()) label += StrFormat("(%.3g)", g.params[0]);
+    // Controlled family: draw '*' on controls, label on the last qubit.
+    bool controlled = g.type == GateType::kCX || g.type == GateType::kCY ||
+                      g.type == GateType::kCZ || g.type == GateType::kCP ||
+                      g.type == GateType::kCCX || g.type == GateType::kCSwap;
+    std::string target_label = label;
+    if (controlled) {
+      size_t split = target_label.find_first_not_of("C");
+      if (split != std::string::npos) target_label = target_label.substr(split);
+    }
+    int num_controls = controlled
+                           ? (g.type == GateType::kCCX ? 2
+                              : g.type == GateType::kCSwap ? 1
+                                                           : 1)
+                           : 0;
+    for (size_t i = 0; i < g.qubits.size(); ++i) {
+      int q = g.qubits[i];
+      if (controlled && static_cast<int>(i) < num_controls) {
+        rows[q] += "*";
+      } else if (g.type == GateType::kSwap ||
+                 (g.type == GateType::kCSwap && i >= 1)) {
+        rows[q] += "x";
+      } else {
+        rows[q] += target_label;
+      }
+    }
+    size_t new_width = 0;
+    for (const auto& r : rows) new_width = std::max(new_width, r.size());
+    pad_to(new_width);
+  }
+  pad_to(rows.empty() ? 0 : rows[0].size() + 2);
+  std::string out;
+  for (int q = 0; q < num_qubits_; ++q) {
+    out += StrFormat("q%-3d: ", q) + rows[q] + "\n";
+  }
+  return out;
+}
+
+}  // namespace qy::qc

@@ -1,0 +1,117 @@
+/// \file circuit.h
+/// QuantumCircuit: the circuit IR with a Qiskit-like fluent builder.
+///
+/// Builder calls validate eagerly; the first error is latched and reported by
+/// status() (and again by any consumer), so chained construction stays
+/// ergonomic without exceptions:
+/// \code
+///   qy::qc::QuantumCircuit c(3, "ghz");
+///   c.H(0).CX(0, 1).CX(1, 2);
+///   QY_RETURN_IF_ERROR(c.status());
+/// \endcode
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+
+namespace qy::qc {
+
+class QuantumCircuit {
+ public:
+  explicit QuantumCircuit(int num_qubits, std::string name = "circuit");
+
+  int num_qubits() const { return num_qubits_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  size_t NumGates() const { return gates_.size(); }
+
+  /// First builder error (OK when the circuit is well-formed).
+  const Status& status() const { return status_; }
+
+  /// Append a gate with validation (qubit range, distinctness, arity,
+  /// parameter count, unitarity for custom gates).
+  Status AddGate(Gate gate);
+
+  // ---- fluent builder (errors latch into status()) ----
+  QuantumCircuit& I(int q) { return Apply({GateType::kI, {q}, {}, {}, ""}); }
+  QuantumCircuit& H(int q) { return Apply({GateType::kH, {q}, {}, {}, ""}); }
+  QuantumCircuit& X(int q) { return Apply({GateType::kX, {q}, {}, {}, ""}); }
+  QuantumCircuit& Y(int q) { return Apply({GateType::kY, {q}, {}, {}, ""}); }
+  QuantumCircuit& Z(int q) { return Apply({GateType::kZ, {q}, {}, {}, ""}); }
+  QuantumCircuit& S(int q) { return Apply({GateType::kS, {q}, {}, {}, ""}); }
+  QuantumCircuit& Sdg(int q) { return Apply({GateType::kSdg, {q}, {}, {}, ""}); }
+  QuantumCircuit& T(int q) { return Apply({GateType::kT, {q}, {}, {}, ""}); }
+  QuantumCircuit& Tdg(int q) { return Apply({GateType::kTdg, {q}, {}, {}, ""}); }
+  QuantumCircuit& SX(int q) { return Apply({GateType::kSX, {q}, {}, {}, ""}); }
+  QuantumCircuit& RX(double theta, int q) {
+    return Apply({GateType::kRX, {q}, {theta}, {}, ""});
+  }
+  QuantumCircuit& RY(double theta, int q) {
+    return Apply({GateType::kRY, {q}, {theta}, {}, ""});
+  }
+  QuantumCircuit& RZ(double theta, int q) {
+    return Apply({GateType::kRZ, {q}, {theta}, {}, ""});
+  }
+  QuantumCircuit& P(double phi, int q) {
+    return Apply({GateType::kP, {q}, {phi}, {}, ""});
+  }
+  QuantumCircuit& U(double theta, double phi, double lambda, int q) {
+    return Apply({GateType::kU, {q}, {theta, phi, lambda}, {}, ""});
+  }
+  QuantumCircuit& CX(int control, int target) {
+    return Apply({GateType::kCX, {control, target}, {}, {}, ""});
+  }
+  QuantumCircuit& CY(int control, int target) {
+    return Apply({GateType::kCY, {control, target}, {}, {}, ""});
+  }
+  QuantumCircuit& CZ(int control, int target) {
+    return Apply({GateType::kCZ, {control, target}, {}, {}, ""});
+  }
+  QuantumCircuit& CP(double phi, int control, int target) {
+    return Apply({GateType::kCP, {control, target}, {phi}, {}, ""});
+  }
+  QuantumCircuit& Swap(int a, int b) {
+    return Apply({GateType::kSwap, {a, b}, {}, {}, ""});
+  }
+  QuantumCircuit& CCX(int c1, int c2, int target) {
+    return Apply({GateType::kCCX, {c1, c2, target}, {}, {}, ""});
+  }
+  QuantumCircuit& CSwap(int control, int a, int b) {
+    return Apply({GateType::kCSwap, {control, a, b}, {}, {}, ""});
+  }
+  QuantumCircuit& Unitary(std::vector<Complex> matrix, std::vector<int> qubits,
+                          std::string label = "u*") {
+    return Apply({GateType::kCustom, std::move(qubits), {},
+                  std::move(matrix), std::move(label)});
+  }
+  /// Controlled-RY via the standard 2-CX decomposition (used by W-state prep).
+  QuantumCircuit& CRY(double theta, int control, int target);
+
+  /// Append all gates of `other` (same width or narrower; qubit indices kept).
+  QuantumCircuit& Compose(const QuantumCircuit& other);
+
+  // ---- analysis ----
+  /// Circuit depth: longest chain of gates sharing qubits.
+  int Depth() const;
+  /// Gate-type histogram.
+  std::map<std::string, int> GateCounts() const;
+  /// Count of entangling (arity >= 2) gates.
+  int TwoQubitGateCount() const;
+
+  /// ASCII rendering with one wire per qubit.
+  std::string ToAscii() const;
+
+ private:
+  QuantumCircuit& Apply(Gate gate);
+
+  int num_qubits_;
+  std::string name_;
+  std::vector<Gate> gates_;
+  Status status_;
+};
+
+}  // namespace qy::qc

@@ -1,0 +1,58 @@
+#include "circuit/decompose.h"
+
+namespace qy::qc {
+
+namespace {
+
+/// Standard 6-CX, 7-T Toffoli decomposition (controls c1, c2; target t).
+void EmitToffoli(QuantumCircuit* out, int c1, int c2, int t) {
+  out->H(t);
+  out->CX(c2, t);
+  out->Tdg(t);
+  out->CX(c1, t);
+  out->T(t);
+  out->CX(c2, t);
+  out->Tdg(t);
+  out->CX(c1, t);
+  out->T(c2);
+  out->T(t);
+  out->H(t);
+  out->CX(c1, c2);
+  out->T(c1);
+  out->Tdg(c2);
+  out->CX(c1, c2);
+}
+
+}  // namespace
+
+Result<QuantumCircuit> DecomposeToTwoQubit(const QuantumCircuit& circuit) {
+  QY_RETURN_IF_ERROR(circuit.status());
+  QuantumCircuit out(circuit.num_qubits(), circuit.name() + "_2q");
+  for (const Gate& g : circuit.gates()) {
+    switch (g.type) {
+      case GateType::kCCX:
+        EmitToffoli(&out, g.qubits[0], g.qubits[1], g.qubits[2]);
+        break;
+      case GateType::kCSwap: {
+        // Fredkin(c, a, b) = CX(b,a) Toffoli(c,a,b) CX(b,a).
+        int c = g.qubits[0], a = g.qubits[1], b = g.qubits[2];
+        out.CX(b, a);
+        EmitToffoli(&out, c, a, b);
+        out.CX(b, a);
+        break;
+      }
+      default:
+        if (g.qubits.size() > 2) {
+          return Status::Unsupported(
+              "cannot decompose custom gate of arity " +
+              std::to_string(g.qubits.size()));
+        }
+        QY_RETURN_IF_ERROR(out.AddGate(g));
+        break;
+    }
+  }
+  QY_RETURN_IF_ERROR(out.status());
+  return out;
+}
+
+}  // namespace qy::qc

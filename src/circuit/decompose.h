@@ -1,0 +1,17 @@
+/// \file decompose.h
+/// Circuit rewrites lowering gate arity.
+///
+/// The MPS backend handles 1- and 2-qubit gates natively; 3-qubit gates are
+/// lowered with the standard constructions (Toffoli via H/T/CX, Fredkin via
+/// CX+Toffoli, SWAP stays native).
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace qy::qc {
+
+/// Rewrite `circuit` so that every gate acts on at most two qubits.
+/// Fails with kUnsupported for custom gates of arity >= 3.
+Result<QuantumCircuit> DecomposeToTwoQubit(const QuantumCircuit& circuit);
+
+}  // namespace qy::qc

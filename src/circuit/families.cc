@@ -1,0 +1,176 @@
+#include "circuit/families.h"
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace qy::qc {
+
+QuantumCircuit Ghz(int n) {
+  QuantumCircuit c(n, "ghz" + std::to_string(n));
+  c.H(0);
+  for (int q = 0; q + 1 < n; ++q) c.CX(q, q + 1);
+  return c;
+}
+
+QuantumCircuit EqualSuperposition(int n) {
+  QuantumCircuit c(n, "superposition" + std::to_string(n));
+  for (int q = 0; q < n; ++q) c.H(q);
+  return c;
+}
+
+QuantumCircuit ParityCheck(const std::vector<int>& bits) {
+  int n = static_cast<int>(bits.size());
+  QuantumCircuit c(n + 1, "parity" + std::to_string(n));
+  for (int q = 0; q < n; ++q) {
+    if (bits[q] != 0) c.X(q);
+  }
+  for (int q = 0; q < n; ++q) c.CX(q, n);
+  return c;
+}
+
+QuantumCircuit BellPair() {
+  QuantumCircuit c(2, "bell");
+  c.H(0).CX(0, 1);
+  return c;
+}
+
+QuantumCircuit WState(int n) {
+  QuantumCircuit c(n, "w" + std::to_string(n));
+  // Standard construction: rotate amplitude down the chain, then CX ladder.
+  c.X(0);
+  for (int k = 1; k < n; ++k) {
+    // Angle so that qubit k receives amplitude sqrt(1/(n-k+1)) of remainder.
+    double theta = 2.0 * std::acos(std::sqrt(1.0 / (n - k + 1)));
+    c.CRY(theta, k - 1, k);
+    c.CX(k, k - 1);
+  }
+  return c;
+}
+
+QuantumCircuit Qft(int n) {
+  QuantumCircuit c(n, "qft" + std::to_string(n));
+  for (int q = n - 1; q >= 0; --q) {
+    c.H(q);
+    for (int j = q - 1; j >= 0; --j) {
+      c.CP(M_PI / (1 << (q - j)), j, q);
+    }
+  }
+  for (int q = 0; q < n / 2; ++q) c.Swap(q, n - 1 - q);
+  return c;
+}
+
+QuantumCircuit GhzRoundTrip(int n) {
+  QuantumCircuit c(n, "ghz_roundtrip" + std::to_string(n));
+  c.H(0);
+  for (int q = 0; q + 1 < n; ++q) c.CX(q, q + 1);
+  for (int q = n - 2; q >= 0; --q) c.CX(q, q + 1);
+  c.H(0);
+  return c;
+}
+
+QuantumCircuit RandomSparse(int n, int depth, uint64_t seed,
+                            int superposed_qubits) {
+  Rng rng(seed);
+  QuantumCircuit c(n, "sparse" + std::to_string(n) + "d" +
+                          std::to_string(depth));
+  for (int q = 0; q < superposed_qubits && q < n; ++q) c.H(q);
+  for (int layer = 0; layer < depth; ++layer) {
+    int kind = static_cast<int>(rng.UniformInt(0, 7));
+    int a = static_cast<int>(rng.UniformInt(0, n - 1));
+    int b = static_cast<int>(rng.UniformInt(0, n - 1));
+    while (n > 1 && b == a) b = static_cast<int>(rng.UniformInt(0, n - 1));
+    switch (kind) {
+      case 0: c.X(a); break;
+      case 1: c.Z(a); break;
+      case 2: c.S(a); break;
+      case 3: c.T(a); break;
+      case 4:
+        if (n > 1) c.CX(a, b);
+        break;
+      case 5:
+        if (n > 1) c.CZ(a, b);
+        break;
+      case 6:
+        if (n > 1) c.Swap(a, b);
+        break;
+      default: {
+        if (n > 2) {
+          int d = static_cast<int>(rng.UniformInt(0, n - 1));
+          while (d == a || d == b) d = static_cast<int>(rng.UniformInt(0, n - 1));
+          c.CCX(a, b, d);
+        } else {
+          c.X(a);
+        }
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+QuantumCircuit RandomDense(int n, int depth, uint64_t seed) {
+  Rng rng(seed);
+  QuantumCircuit c(n, "dense" + std::to_string(n) + "d" +
+                          std::to_string(depth));
+  for (int layer = 0; layer < depth; ++layer) {
+    for (int q = 0; q < n; ++q) {
+      switch (rng.UniformInt(0, 3)) {
+        case 0: c.H(q); break;
+        case 1: c.RX(rng.UniformAngle(), q); break;
+        case 2: c.RY(rng.UniformAngle(), q); break;
+        default: c.RZ(rng.UniformAngle(), q); break;
+      }
+    }
+    if (n > 1) {
+      int offset = static_cast<int>(rng.UniformInt(0, n - 1));
+      for (int q = 0; q + 1 < n; q += 2) {
+        int a = (q + offset) % n;
+        int b = (q + 1 + offset) % n;
+        if (a != b) c.CX(a, b);
+      }
+    }
+  }
+  return c;
+}
+
+QuantumCircuit HardwareEfficientAnsatz(int n, int layers, uint64_t seed) {
+  Rng rng(seed);
+  QuantumCircuit c(n, "hea" + std::to_string(n) + "l" + std::to_string(layers));
+  for (int layer = 0; layer < layers; ++layer) {
+    for (int q = 0; q < n; ++q) {
+      c.RY(rng.UniformAngle(), q);
+      c.RZ(rng.UniformAngle(), q);
+    }
+    for (int q = 0; q < n && n > 1; ++q) c.CX(q, (q + 1) % n);
+  }
+  return c;
+}
+
+QuantumCircuit SparsePhase(int n, int depth, uint64_t seed) {
+  Rng rng(seed);
+  QuantumCircuit c = Ghz(n);
+  c.set_name("sparse_phase" + std::to_string(n) + "d" + std::to_string(depth));
+  for (int layer = 0; layer < depth; ++layer) {
+    int q = static_cast<int>(rng.UniformInt(0, n - 1));
+    switch (rng.UniformInt(0, 3)) {
+      case 0: c.T(q); break;
+      case 1: c.S(q); break;
+      case 2: c.RZ(rng.UniformAngle(), q); break;
+      default: {
+        if (n > 1) {
+          int b = static_cast<int>(rng.UniformInt(0, n - 1));
+          if (b != q) {
+            c.CZ(q, b);
+            break;
+          }
+        }
+        c.Z(q);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace qy::qc

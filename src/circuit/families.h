@@ -1,0 +1,70 @@
+/// \file families.h
+/// Standard circuit library: the workloads used throughout the paper's
+/// demonstration scenarios and benchmarks.
+///
+/// Sparse vs dense intuition (drives experiment E3/E4): a circuit is "sparse"
+/// when its state keeps few nonzero amplitudes (GHZ has 2, parity check has
+/// 1-2, classical reversible circuits keep 1 per input); "dense" circuits
+/// (equal superposition, QFT, random rotation layers) populate all 2^n
+/// amplitudes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qy::qc {
+
+/// n-qubit GHZ preparation: H(0); CX(0,1); ...; CX(n-2,n-1).
+/// Final state (|0...0> + |1...1>)/sqrt(2) — the paper's running example
+/// (Fig. 2) and demo scenario 2/3 workload.
+QuantumCircuit Ghz(int n);
+
+/// Equal superposition of all 2^n basis states: H on every qubit (demo
+/// scenario 2's dense workload).
+QuantumCircuit EqualSuperposition(int n);
+
+/// Quantum parity check (demo scenario 1): `bits.size()` data qubits prepared
+/// in the given classical bitstring, plus one ancilla qubit (index n) that
+/// accumulates XOR of all data bits via CX gates. The ancilla measures to the
+/// parity; the state stays a single basis state (maximally sparse).
+QuantumCircuit ParityCheck(const std::vector<int>& bits);
+
+/// Bell pair on 2 qubits.
+QuantumCircuit BellPair();
+
+/// n-qubit W state (single-excitation superposition) via cascaded CRY+CX.
+QuantumCircuit WState(int n);
+
+/// Quantum Fourier transform on n qubits (H + controlled-phase ladder +
+/// final swaps). Dense: populates all amplitudes with equal magnitude.
+QuantumCircuit Qft(int n);
+
+/// GHZ followed by inverse-GHZ — returns to |0..0>; used to test
+/// interference cancellation (amplitudes must vanish exactly).
+QuantumCircuit GhzRoundTrip(int n);
+
+/// Random *sparse-preserving* circuit: `depth` layers drawn from
+/// {X, Z, S, T, CX, CZ, SWAP, CCX} (classical permutations + phases) keeping
+/// the number of nonzero amplitudes at 1. With `superposed_qubits` > 0, that
+/// many leading H gates create 2^k nonzero amplitudes which the remaining
+/// layers permute/phase but never multiply.
+QuantumCircuit RandomSparse(int n, int depth, uint64_t seed,
+                            int superposed_qubits = 0);
+
+/// Random dense circuit: `depth` layers of single-qubit rotations
+/// (RX/RY/RZ/H) followed by a CX chain with random offsets. Amplitudes
+/// spread over all 2^n states after a few layers.
+QuantumCircuit RandomDense(int n, int depth, uint64_t seed);
+
+/// Hardware-efficient ansatz: `layers` x (RY+RZ on all qubits, CX ring).
+/// Angles drawn from `seed`; the workhorse of "parameterized circuit
+/// families" (paper Sec. 3.1/3.3).
+QuantumCircuit HardwareEfficientAnsatz(int n, int layers, uint64_t seed);
+
+/// Diagonal phase circuit on a GHZ backbone: sparse circuit whose SQL plan
+/// exercises phase accumulation (T/S/RZ/CZ on entangled sparse state).
+QuantumCircuit SparsePhase(int n, int depth, uint64_t seed);
+
+}  // namespace qy::qc

@@ -1,0 +1,315 @@
+#include "circuit/gate.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace qy::qc {
+
+namespace {
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+const Complex kI{0, 1};
+}  // namespace
+
+const char* GateTypeName(GateType t) {
+  switch (t) {
+    case GateType::kI: return "id";
+    case GateType::kH: return "h";
+    case GateType::kX: return "x";
+    case GateType::kY: return "y";
+    case GateType::kZ: return "z";
+    case GateType::kS: return "s";
+    case GateType::kSdg: return "sdg";
+    case GateType::kT: return "t";
+    case GateType::kTdg: return "tdg";
+    case GateType::kSX: return "sx";
+    case GateType::kRX: return "rx";
+    case GateType::kRY: return "ry";
+    case GateType::kRZ: return "rz";
+    case GateType::kP: return "p";
+    case GateType::kU: return "u";
+    case GateType::kCX: return "cx";
+    case GateType::kCY: return "cy";
+    case GateType::kCZ: return "cz";
+    case GateType::kCP: return "cp";
+    case GateType::kSwap: return "swap";
+    case GateType::kCCX: return "ccx";
+    case GateType::kCSwap: return "cswap";
+    case GateType::kCustom: return "unitary";
+  }
+  return "?";
+}
+
+Result<GateType> ParseGateType(const std::string& name) {
+  static const GateType kAll[] = {
+      GateType::kI, GateType::kH, GateType::kX, GateType::kY, GateType::kZ,
+      GateType::kS, GateType::kSdg, GateType::kT, GateType::kTdg, GateType::kSX,
+      GateType::kRX, GateType::kRY, GateType::kRZ, GateType::kP, GateType::kU,
+      GateType::kCX, GateType::kCY, GateType::kCZ, GateType::kCP,
+      GateType::kSwap, GateType::kCCX, GateType::kCSwap, GateType::kCustom};
+  for (GateType t : kAll) {
+    if (EqualsIgnoreCase(name, GateTypeName(t))) return t;
+  }
+  // Common aliases.
+  if (EqualsIgnoreCase(name, "cnot")) return GateType::kCX;
+  if (EqualsIgnoreCase(name, "toffoli")) return GateType::kCCX;
+  if (EqualsIgnoreCase(name, "fredkin")) return GateType::kCSwap;
+  if (EqualsIgnoreCase(name, "phase")) return GateType::kP;
+  return Status::NotFound("unknown gate name: " + name);
+}
+
+int GateArity(GateType t) {
+  switch (t) {
+    case GateType::kCX:
+    case GateType::kCY:
+    case GateType::kCZ:
+    case GateType::kCP:
+    case GateType::kSwap:
+      return 2;
+    case GateType::kCCX:
+    case GateType::kCSwap:
+      return 3;
+    case GateType::kCustom:
+      return -1;  // derived from matrix
+    default:
+      return 1;
+  }
+}
+
+int GateParamCount(GateType t) {
+  switch (t) {
+    case GateType::kRX:
+    case GateType::kRY:
+    case GateType::kRZ:
+    case GateType::kP:
+    case GateType::kCP:
+      return 1;
+    case GateType::kU:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+int Gate::Arity() const { return static_cast<int>(qubits.size()); }
+
+std::string Gate::ToString() const {
+  std::string out = GateTypeName(type);
+  if (!params.empty()) {
+    std::vector<std::string> ps;
+    for (double p : params) ps.push_back(StrFormat("%.6g", p));
+    out += "(" + StrJoin(ps, ",") + ")";
+  }
+  std::vector<std::string> qs;
+  for (int q : qubits) qs.push_back(std::to_string(q));
+  out += "[" + StrJoin(qs, ",") + "]";
+  return out;
+}
+
+namespace {
+
+GateMatrix Make1Q(Complex a, Complex b, Complex c, Complex d) {
+  GateMatrix g;
+  g.dim = 2;
+  g.m = {a, b, c, d};
+  return g;
+}
+
+/// Controlled-U on 2 qubits with control = local bit 0, target = local bit 1.
+GateMatrix Controlled(const GateMatrix& u) {
+  GateMatrix g = IdentityMatrix(2);
+  // Basis index: bit0 = control, bit1 = target.
+  // Control=1 states: indices 1 (t=0) and 3 (t=1).
+  g.At(1, 1) = u.At(0, 0);
+  g.At(1, 3) = u.At(0, 1);
+  g.At(3, 1) = u.At(1, 0);
+  g.At(3, 3) = u.At(1, 1);
+  return g;
+}
+
+}  // namespace
+
+GateMatrix IdentityMatrix(int arity) {
+  GateMatrix g;
+  g.dim = 1 << arity;
+  g.m.assign(static_cast<size_t>(g.dim) * g.dim, Complex{0, 0});
+  for (int i = 0; i < g.dim; ++i) g.At(i, i) = 1.0;
+  return g;
+}
+
+Result<GateMatrix> MatrixForGate(const Gate& gate) {
+  int want_params = GateParamCount(gate.type);
+  if (gate.type != GateType::kCustom &&
+      static_cast<int>(gate.params.size()) != want_params) {
+    return Status::InvalidArgument(
+        std::string(GateTypeName(gate.type)) + " expects " +
+        std::to_string(want_params) + " parameter(s), got " +
+        std::to_string(gate.params.size()));
+  }
+  switch (gate.type) {
+    case GateType::kI: return Make1Q(1, 0, 0, 1);
+    case GateType::kH:
+      return Make1Q(kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2);
+    case GateType::kX: return Make1Q(0, 1, 1, 0);
+    case GateType::kY: return Make1Q(0, -kI, kI, 0);
+    case GateType::kZ: return Make1Q(1, 0, 0, -1);
+    case GateType::kS: return Make1Q(1, 0, 0, kI);
+    case GateType::kSdg: return Make1Q(1, 0, 0, -kI);
+    case GateType::kT: return Make1Q(1, 0, 0, std::exp(kI * (M_PI / 4)));
+    case GateType::kTdg: return Make1Q(1, 0, 0, std::exp(-kI * (M_PI / 4)));
+    case GateType::kSX: {
+      Complex p{0.5, 0.5}, m{0.5, -0.5};
+      return Make1Q(p, m, m, p);
+    }
+    case GateType::kRX: {
+      double t = gate.params[0] / 2;
+      return Make1Q(std::cos(t), -kI * std::sin(t), -kI * std::sin(t),
+                    std::cos(t));
+    }
+    case GateType::kRY: {
+      double t = gate.params[0] / 2;
+      return Make1Q(std::cos(t), -std::sin(t), std::sin(t), std::cos(t));
+    }
+    case GateType::kRZ: {
+      double t = gate.params[0] / 2;
+      return Make1Q(std::exp(-kI * t), 0, 0, std::exp(kI * t));
+    }
+    case GateType::kP:
+      return Make1Q(1, 0, 0, std::exp(kI * gate.params[0]));
+    case GateType::kU: {
+      double theta = gate.params[0], phi = gate.params[1],
+             lambda = gate.params[2];
+      Complex a = std::cos(theta / 2);
+      Complex b = -std::exp(kI * lambda) * std::sin(theta / 2);
+      Complex c = std::exp(kI * phi) * std::sin(theta / 2);
+      Complex d = std::exp(kI * (phi + lambda)) * std::cos(theta / 2);
+      return Make1Q(a, b, c, d);
+    }
+    case GateType::kCX: return Controlled(Make1Q(0, 1, 1, 0));
+    case GateType::kCY: return Controlled(Make1Q(0, -kI, kI, 0));
+    case GateType::kCZ: return Controlled(Make1Q(1, 0, 0, -1));
+    case GateType::kCP:
+      return Controlled(Make1Q(1, 0, 0, std::exp(kI * gate.params[0])));
+    case GateType::kSwap: {
+      GateMatrix g;
+      g.dim = 4;
+      g.m.assign(16, Complex{0, 0});
+      g.At(0, 0) = 1;
+      g.At(1, 2) = 1;  // |01> (b0=1) -> |10> (b1=1)
+      g.At(2, 1) = 1;
+      g.At(3, 3) = 1;
+      return g;
+    }
+    case GateType::kCCX: {
+      // Controls = local bits 0 and 1, target = local bit 2.
+      GateMatrix g = IdentityMatrix(3);
+      g.At(3, 3) = 0;
+      g.At(7, 7) = 0;
+      g.At(3, 7) = 1;
+      g.At(7, 3) = 1;
+      return g;
+    }
+    case GateType::kCSwap: {
+      // Control = local bit 0, swapped = local bits 1 and 2.
+      GateMatrix g = IdentityMatrix(3);
+      // Control set: indices 1|2<<1|t... states 3 (011) and 5 (101) swap.
+      g.At(3, 3) = 0;
+      g.At(5, 5) = 0;
+      g.At(3, 5) = 1;
+      g.At(5, 3) = 1;
+      return g;
+    }
+    case GateType::kCustom: {
+      size_t n = gate.matrix.size();
+      int dim = static_cast<int>(std::lround(std::sqrt(static_cast<double>(n))));
+      if (dim < 2 || static_cast<size_t>(dim) * dim != n ||
+          (dim & (dim - 1)) != 0) {
+        return Status::InvalidArgument(
+            "custom gate matrix must be (2^k)x(2^k), got " +
+            std::to_string(n) + " entries");
+      }
+      GateMatrix g;
+      g.dim = dim;
+      g.m = gate.matrix;
+      double err = UnitarityError(g);
+      if (err > 1e-8) {
+        return Status::InvalidArgument(
+            "custom gate matrix is not unitary (error " + StrFormat("%.3g", err) +
+            ")");
+      }
+      return g;
+    }
+  }
+  return Status::Internal("unhandled gate type");
+}
+
+GateMatrix MatMul(const GateMatrix& a, const GateMatrix& b) {
+  GateMatrix out;
+  out.dim = a.dim;
+  out.m.assign(static_cast<size_t>(a.dim) * a.dim, Complex{0, 0});
+  for (int i = 0; i < a.dim; ++i) {
+    for (int k = 0; k < a.dim; ++k) {
+      Complex aik = a.At(i, k);
+      if (aik == Complex{0, 0}) continue;
+      for (int j = 0; j < a.dim; ++j) {
+        out.At(i, j) += aik * b.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+GateMatrix EmbedMatrix(const GateMatrix& g, const std::vector<int>& local_qubits,
+                       int arity) {
+  GateMatrix out;
+  out.dim = 1 << arity;
+  out.m.assign(static_cast<size_t>(out.dim) * out.dim, Complex{0, 0});
+  int k = static_cast<int>(local_qubits.size());
+  int rest_bits = arity - k;
+  // Positions not covered by local_qubits, ascending.
+  std::vector<int> rest;
+  for (int p = 0; p < arity; ++p) {
+    bool used = false;
+    for (int q : local_qubits) {
+      if (q == p) used = true;
+    }
+    if (!used) rest.push_back(p);
+  }
+  for (int r = 0; r < (1 << rest_bits); ++r) {
+    int base = 0;
+    for (int bi = 0; bi < rest_bits; ++bi) {
+      base |= ((r >> bi) & 1) << rest[bi];
+    }
+    for (int gi = 0; gi < g.dim; ++gi) {
+      int row = base;
+      for (int bi = 0; bi < k; ++bi) row |= ((gi >> bi) & 1) << local_qubits[bi];
+      for (int gj = 0; gj < g.dim; ++gj) {
+        Complex v = g.At(gi, gj);
+        if (v == Complex{0, 0}) continue;
+        int col = base;
+        for (int bi = 0; bi < k; ++bi) {
+          col |= ((gj >> bi) & 1) << local_qubits[bi];
+        }
+        out.At(row, col) = v;
+      }
+    }
+  }
+  return out;
+}
+
+double UnitarityError(const GateMatrix& g) {
+  double max_err = 0;
+  for (int i = 0; i < g.dim; ++i) {
+    for (int j = 0; j < g.dim; ++j) {
+      Complex acc{0, 0};
+      for (int k = 0; k < g.dim; ++k) {
+        acc += g.At(i, k) * std::conj(g.At(j, k));
+      }
+      Complex expect = i == j ? Complex{1, 0} : Complex{0, 0};
+      max_err = std::max(max_err, std::abs(acc - expect));
+    }
+  }
+  return max_err;
+}
+
+}  // namespace qy::qc

@@ -1,0 +1,82 @@
+/// \file gate.h
+/// Quantum gate definitions and matrices.
+///
+/// Local qubit-order convention (matches the paper's Fig. 2 tables): for a
+/// gate applied to `qubits = {q0, q1, ...}`, q0 is the least-significant bit
+/// of the local basis index. A CX with qubits {control, target} therefore has
+/// the gate table {0->0, 1->3, 2->2, 3->1} exactly as printed in the paper.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qy::qc {
+
+using Complex = std::complex<double>;
+
+enum class GateType {
+  kI, kH, kX, kY, kZ, kS, kSdg, kT, kTdg, kSX,
+  kRX, kRY, kRZ, kP, kU,           // parameterized single-qubit
+  kCX, kCY, kCZ, kCP, kSwap,       // two-qubit
+  kCCX, kCSwap,                    // three-qubit
+  kCustom,                         // explicit unitary matrix
+};
+
+/// Gate name as used in JSON I/O and labels ("h", "cx", ...).
+const char* GateTypeName(GateType t);
+
+/// Parse a gate name (case-insensitive). kNotFound for unknown names.
+Result<GateType> ParseGateType(const std::string& name);
+
+/// Number of qubits a gate type acts on (kCustom: derived from matrix).
+int GateArity(GateType t);
+
+/// Number of double parameters the gate type takes (U takes 3, RX/RY/RZ/P/CP
+/// take 1, others 0).
+int GateParamCount(GateType t);
+
+/// A gate application within a circuit.
+struct Gate {
+  GateType type = GateType::kI;
+  std::vector<int> qubits;        ///< local bit i <- circuit qubit qubits[i]
+  std::vector<double> params;
+  std::vector<Complex> matrix;    ///< kCustom only: row-major, dim x dim
+  std::string label;              ///< optional display/debug label
+
+  int Arity() const;
+
+  /// Short text form, e.g. "cx(0,1)" or "rz(0.5)(2)".
+  std::string ToString() const;
+};
+
+/// A dense unitary: dim x dim row-major (dim = 2^arity).
+struct GateMatrix {
+  int dim = 0;
+  std::vector<Complex> m;  ///< m[row * dim + col]
+
+  Complex At(int row, int col) const { return m[row * dim + col]; }
+  Complex& At(int row, int col) { return m[row * dim + col]; }
+};
+
+/// Compute the unitary matrix of a gate (local qubit order as above).
+Result<GateMatrix> MatrixForGate(const Gate& gate);
+
+/// Multiply: out = a * b (same dim).
+GateMatrix MatMul(const GateMatrix& a, const GateMatrix& b);
+
+/// Identity matrix of dimension 2^arity.
+GateMatrix IdentityMatrix(int arity);
+
+/// Kronecker-extend `g` (acting on `local_qubits` positions within an
+/// `arity`-qubit space) to the full 2^arity dimension. local_qubits[i] gives
+/// the position (bit index) of g's bit i in the larger space.
+GateMatrix EmbedMatrix(const GateMatrix& g, const std::vector<int>& local_qubits,
+                       int arity);
+
+/// Max |(U U^dagger - I)_{jk}|; ~0 for unitary matrices.
+double UnitarityError(const GateMatrix& g);
+
+}  // namespace qy::qc

@@ -1,0 +1,125 @@
+#include "circuit/json_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace qy::qc {
+
+std::string CircuitToJson(const QuantumCircuit& circuit, int indent) {
+  JsonValue doc{JsonValue::Object{}};
+  doc.Set("name", circuit.name());
+  doc.Set("num_qubits", static_cast<int64_t>(circuit.num_qubits()));
+  JsonValue::Array gates;
+  for (const Gate& g : circuit.gates()) {
+    JsonValue entry{JsonValue::Object{}};
+    entry.Set("gate", GateTypeName(g.type));
+    JsonValue::Array qubits;
+    for (int q : g.qubits) qubits.push_back(JsonValue(static_cast<int64_t>(q)));
+    entry.Set("qubits", JsonValue(std::move(qubits)));
+    if (!g.params.empty()) {
+      JsonValue::Array params;
+      for (double p : g.params) params.push_back(JsonValue(p));
+      entry.Set("params", JsonValue(std::move(params)));
+    }
+    if (g.type == GateType::kCustom) {
+      JsonValue::Array matrix;
+      for (const Complex& c : g.matrix) {
+        matrix.push_back(
+            JsonValue(JsonValue::Array{JsonValue(c.real()), JsonValue(c.imag())}));
+      }
+      entry.Set("matrix", JsonValue(std::move(matrix)));
+      if (!g.label.empty()) entry.Set("label", g.label);
+    }
+    gates.push_back(std::move(entry));
+  }
+  doc.Set("gates", JsonValue(std::move(gates)));
+  return doc.Dump(indent);
+}
+
+Result<QuantumCircuit> CircuitFromJson(const std::string& json_text) {
+  QY_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json_text));
+  if (!doc.is_object()) {
+    return Status::ParseError("circuit JSON must be an object");
+  }
+  const JsonValue* nq = doc.Find("num_qubits");
+  if (nq == nullptr || !nq->is_number()) {
+    return Status::ParseError("circuit JSON missing numeric 'num_qubits'");
+  }
+  std::string name = "circuit";
+  if (const JsonValue* n = doc.Find("name"); n != nullptr && n->is_string()) {
+    name = n->AsString();
+  }
+  QuantumCircuit circuit(static_cast<int>(nq->AsInt()), name);
+  QY_RETURN_IF_ERROR(circuit.status());
+  const JsonValue* gates = doc.Find("gates");
+  if (gates == nullptr || !gates->is_array()) {
+    return Status::ParseError("circuit JSON missing 'gates' array");
+  }
+  for (const JsonValue& entry : gates->AsArray()) {
+    if (!entry.is_object()) {
+      return Status::ParseError("gate entry must be an object");
+    }
+    const JsonValue* gname = entry.Find("gate");
+    if (gname == nullptr || !gname->is_string()) {
+      return Status::ParseError("gate entry missing 'gate' name");
+    }
+    Gate gate;
+    QY_ASSIGN_OR_RETURN(gate.type, ParseGateType(gname->AsString()));
+    const JsonValue* qubits = entry.Find("qubits");
+    if (qubits == nullptr || !qubits->is_array()) {
+      return Status::ParseError("gate entry missing 'qubits' array");
+    }
+    for (const JsonValue& q : qubits->AsArray()) {
+      if (!q.is_number()) return Status::ParseError("qubit must be a number");
+      gate.qubits.push_back(static_cast<int>(q.AsInt()));
+    }
+    if (const JsonValue* params = entry.Find("params");
+        params != nullptr && params->is_array()) {
+      for (const JsonValue& p : params->AsArray()) {
+        if (!p.is_number()) return Status::ParseError("param must be a number");
+        gate.params.push_back(p.AsDouble());
+      }
+    }
+    if (gate.type == GateType::kCustom) {
+      const JsonValue* matrix = entry.Find("matrix");
+      if (matrix == nullptr || !matrix->is_array()) {
+        return Status::ParseError("unitary gate missing 'matrix'");
+      }
+      for (const JsonValue& cell : matrix->AsArray()) {
+        if (!cell.is_array() || cell.AsArray().size() != 2 ||
+            !cell.AsArray()[0].is_number() || !cell.AsArray()[1].is_number()) {
+          return Status::ParseError("matrix cells must be [re, im] pairs");
+        }
+        gate.matrix.emplace_back(cell.AsArray()[0].AsDouble(),
+                                 cell.AsArray()[1].AsDouble());
+      }
+      if (const JsonValue* label = entry.Find("label");
+          label != nullptr && label->is_string()) {
+        gate.label = label->AsString();
+      }
+    }
+    QY_RETURN_IF_ERROR(circuit.AddGate(std::move(gate)));
+  }
+  return circuit;
+}
+
+Status WriteCircuitFile(const QuantumCircuit& circuit,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << CircuitToJson(circuit) << "\n";
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<QuantumCircuit> ReadCircuitFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return CircuitFromJson(buffer.str());
+}
+
+}  // namespace qy::qc

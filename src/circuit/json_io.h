@@ -1,0 +1,37 @@
+/// \file json_io.h
+/// JSON circuit serialization (paper Sec. 3.1 "File Upload": researchers
+/// upload circuits in standardized formats such as JSON).
+///
+/// Format:
+/// \code{.json}
+/// {
+///   "name": "ghz3",
+///   "num_qubits": 3,
+///   "gates": [
+///     {"gate": "h",  "qubits": [0]},
+///     {"gate": "cx", "qubits": [0, 1]},
+///     {"gate": "rz", "qubits": [2], "params": [0.25]},
+///     {"gate": "unitary", "qubits": [0], "matrix": [[0,0],[0,-1],[0,1],[0,0]]}
+///   ]
+/// }
+/// \endcode
+/// Custom matrices are row-major lists of [re, im] pairs.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qy::qc {
+
+/// Serialize a circuit (pretty-printed when indent >= 0).
+std::string CircuitToJson(const QuantumCircuit& circuit, int indent = 2);
+
+/// Parse a circuit from JSON text with full validation.
+Result<QuantumCircuit> CircuitFromJson(const std::string& json_text);
+
+/// Convenience file round-trips.
+Status WriteCircuitFile(const QuantumCircuit& circuit, const std::string& path);
+Result<QuantumCircuit> ReadCircuitFile(const std::string& path);
+
+}  // namespace qy::qc

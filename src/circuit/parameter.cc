@@ -1,0 +1,60 @@
+#include "circuit/parameter.h"
+
+#include <algorithm>
+
+namespace qy::qc {
+
+std::vector<std::string> ParameterizedCircuit::ParameterNames() const {
+  std::vector<std::string> names;
+  for (const auto& g : gates_) {
+    for (const auto& p : g.params) {
+      if (const auto* expr = std::get_if<ParamExpr>(&p)) {
+        names.push_back(expr->name);
+      }
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+Result<QuantumCircuit> ParameterizedCircuit::Bind(
+    const std::map<std::string, double>& values) const {
+  QuantumCircuit circuit(num_qubits_, name_);
+  for (const auto& g : gates_) {
+    Gate gate;
+    gate.type = g.type;
+    gate.qubits = g.qubits;
+    for (const auto& p : g.params) {
+      if (const auto* concrete = std::get_if<double>(&p)) {
+        gate.params.push_back(*concrete);
+      } else {
+        const ParamExpr& expr = std::get<ParamExpr>(p);
+        auto it = values.find(expr.name);
+        if (it == values.end()) {
+          return Status::InvalidArgument("unbound parameter: " + expr.name);
+        }
+        gate.params.push_back(expr.scale * it->second + expr.offset);
+      }
+    }
+    QY_RETURN_IF_ERROR(circuit.AddGate(std::move(gate)));
+  }
+  return circuit;
+}
+
+Result<std::vector<QuantumCircuit>> ParameterizedCircuit::Sweep(
+    const std::string& parameter, const std::vector<double>& values,
+    const std::map<std::string, double>& fixed) const {
+  std::vector<QuantumCircuit> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    std::map<std::string, double> binding = fixed;
+    binding[parameter] = v;
+    QY_ASSIGN_OR_RETURN(QuantumCircuit c, Bind(binding));
+    c.set_name(name_ + "[" + parameter + "=" + std::to_string(v) + "]");
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace qy::qc

@@ -1,0 +1,79 @@
+/// \file parameter.h
+/// Parameterized circuit families (paper Sec. 3.1: "Researchers can define
+/// parameterized circuits programmatically"; Sec. 3.3: "Qymera automates
+/// simulation across the parameter space").
+///
+/// A ParameterizedCircuit is a circuit whose gate angles may be symbolic
+/// linear expressions `scale * theta + offset` over named parameters. Bind()
+/// substitutes concrete values; Sweep() produces a family of bound circuits.
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qy::qc {
+
+/// A symbolic angle: scale * <name> + offset.
+struct ParamExpr {
+  std::string name;
+  double scale = 1.0;
+  double offset = 0.0;
+};
+
+/// Either a concrete angle or a symbolic one.
+using ParamValue = std::variant<double, ParamExpr>;
+
+/// A gate whose parameters may be symbolic.
+struct ParamGate {
+  GateType type;
+  std::vector<int> qubits;
+  std::vector<ParamValue> params;
+};
+
+class ParameterizedCircuit {
+ public:
+  explicit ParameterizedCircuit(int num_qubits, std::string name = "pcircuit")
+      : num_qubits_(num_qubits), name_(std::move(name)) {}
+
+  int num_qubits() const { return num_qubits_; }
+  const std::string& name() const { return name_; }
+  const std::vector<ParamGate>& gates() const { return gates_; }
+
+  /// Names of all free parameters, sorted, deduplicated.
+  std::vector<std::string> ParameterNames() const;
+
+  void Add(GateType type, std::vector<int> qubits,
+           std::vector<ParamValue> params = {}) {
+    gates_.push_back({type, std::move(qubits), std::move(params)});
+  }
+
+  // Convenience builders mirroring QuantumCircuit for the common cases.
+  void H(int q) { Add(GateType::kH, {q}); }
+  void X(int q) { Add(GateType::kX, {q}); }
+  void CX(int c, int t) { Add(GateType::kCX, {c, t}); }
+  void RX(ParamValue theta, int q) { Add(GateType::kRX, {q}, {theta}); }
+  void RY(ParamValue theta, int q) { Add(GateType::kRY, {q}, {theta}); }
+  void RZ(ParamValue theta, int q) { Add(GateType::kRZ, {q}, {theta}); }
+  void P(ParamValue phi, int q) { Add(GateType::kP, {q}, {phi}); }
+  void CP(ParamValue phi, int c, int t) { Add(GateType::kCP, {c, t}, {phi}); }
+
+  /// Substitute parameter values; fails on unbound parameters.
+  Result<QuantumCircuit> Bind(const std::map<std::string, double>& values) const;
+
+  /// Bind one parameter across a sweep of values (all other parameters from
+  /// `fixed`), producing one circuit per value.
+  Result<std::vector<QuantumCircuit>> Sweep(
+      const std::string& parameter, const std::vector<double>& values,
+      const std::map<std::string, double>& fixed = {}) const;
+
+ private:
+  int num_qubits_;
+  std::string name_;
+  std::vector<ParamGate> gates_;
+};
+
+}  // namespace qy::qc

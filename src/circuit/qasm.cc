@@ -1,0 +1,351 @@
+#include "circuit/qasm.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace qy::qc {
+
+namespace {
+
+/// Minimal arithmetic evaluator for gate parameters: numbers, pi, + - * /,
+/// unary minus, parentheses.
+class ParamParser {
+ public:
+  explicit ParamParser(const std::string& text) : text_(text) {}
+
+  Result<double> Parse() {
+    QY_ASSIGN_OR_RETURN(double v, ParseAdditive());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters in parameter: " + text_);
+    }
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<double> ParseAdditive() {
+    QY_ASSIGN_OR_RETURN(double v, ParseMultiplicative());
+    while (true) {
+      if (Consume('+')) {
+        QY_ASSIGN_OR_RETURN(double r, ParseMultiplicative());
+        v += r;
+      } else if (Consume('-')) {
+        QY_ASSIGN_OR_RETURN(double r, ParseMultiplicative());
+        v -= r;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  Result<double> ParseMultiplicative() {
+    QY_ASSIGN_OR_RETURN(double v, ParseUnary());
+    while (true) {
+      if (Consume('*')) {
+        QY_ASSIGN_OR_RETURN(double r, ParseUnary());
+        v *= r;
+      } else if (Consume('/')) {
+        QY_ASSIGN_OR_RETURN(double r, ParseUnary());
+        if (r == 0) return Status::ParseError("division by zero in parameter");
+        v /= r;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  Result<double> ParseUnary() {
+    if (Consume('-')) {
+      QY_ASSIGN_OR_RETURN(double v, ParseUnary());
+      return -v;
+    }
+    if (Consume('+')) return ParseUnary();
+    return ParsePrimary();
+  }
+
+  Result<double> ParsePrimary() {
+    SkipSpace();
+    if (Consume('(')) {
+      QY_ASSIGN_OR_RETURN(double v, ParseAdditive());
+      if (!Consume(')')) return Status::ParseError("missing ')' in parameter");
+      return v;
+    }
+    if (pos_ < text_.size() &&
+        (std::isalpha(static_cast<unsigned char>(text_[pos_])))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      std::string word = text_.substr(start, pos_ - start);
+      if (EqualsIgnoreCase(word, "pi")) return M_PI;
+      return Status::ParseError("unknown identifier in parameter: " + word);
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+        ++pos_;
+      } else if ((c == 'e' || c == 'E') && pos_ + 1 < text_.size()) {
+        // Exponent, optionally signed.
+        ++pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return Status::ParseError("expected number in parameter: " + text_);
+    }
+    try {
+      return std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return Status::ParseError("bad number in parameter: " + text_);
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// Strip // comments and collapse whitespace.
+std::string StripComments(const std::string& text) {
+  std::string out;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    out.push_back(text[i++]);
+  }
+  return out;
+}
+
+struct QasmGateSpec {
+  GateType type;
+  int params;
+  int qubits;
+};
+
+Result<QasmGateSpec> LookupQasmGate(const std::string& name) {
+  static const std::map<std::string, QasmGateSpec> kGates = {
+      {"id", {GateType::kI, 0, 1}},    {"h", {GateType::kH, 0, 1}},
+      {"x", {GateType::kX, 0, 1}},     {"y", {GateType::kY, 0, 1}},
+      {"z", {GateType::kZ, 0, 1}},     {"s", {GateType::kS, 0, 1}},
+      {"sdg", {GateType::kSdg, 0, 1}}, {"t", {GateType::kT, 0, 1}},
+      {"tdg", {GateType::kTdg, 0, 1}}, {"sx", {GateType::kSX, 0, 1}},
+      {"rx", {GateType::kRX, 1, 1}},   {"ry", {GateType::kRY, 1, 1}},
+      {"rz", {GateType::kRZ, 1, 1}},   {"p", {GateType::kP, 1, 1}},
+      {"u1", {GateType::kP, 1, 1}},    {"u3", {GateType::kU, 3, 1}},
+      {"u", {GateType::kU, 3, 1}},     {"cx", {GateType::kCX, 0, 2}},
+      {"cy", {GateType::kCY, 0, 2}},   {"cz", {GateType::kCZ, 0, 2}},
+      {"cp", {GateType::kCP, 1, 2}},   {"cu1", {GateType::kCP, 1, 2}},
+      {"crz", {GateType::kCP, 1, 2}},  // crz == cp up to global phase
+      {"swap", {GateType::kSwap, 0, 2}},
+      {"ccx", {GateType::kCCX, 0, 3}},
+      {"cswap", {GateType::kCSwap, 0, 3}},
+  };
+  auto it = kGates.find(AsciiToLower(name));
+  if (it == kGates.end()) {
+    return Status::Unsupported("unsupported QASM gate: " + name);
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Result<QuantumCircuit> CircuitFromQasm(const std::string& qasm_text) {
+  std::string text = StripComments(qasm_text);
+  // Split into ';'-terminated statements.
+  std::vector<std::string> statements;
+  std::string current;
+  for (char c : text) {
+    if (c == ';') {
+      statements.push_back(current);
+      current.clear();
+    } else if (c == '{' || c == '}') {
+      return Status::Unsupported(
+          "QASM gate definitions / blocks are not supported");
+    } else {
+      current.push_back(c);
+    }
+  }
+  auto trim = [](std::string s) {
+    size_t a = s.find_first_not_of(" \t\r\n");
+    size_t b = s.find_last_not_of(" \t\r\n");
+    return a == std::string::npos ? std::string() : s.substr(a, b - a + 1);
+  };
+
+  // First pass: register declarations -> qubit offsets.
+  std::map<std::string, int> reg_offset;
+  int total_qubits = 0;
+  struct Pending {
+    std::string name;      // gate name
+    std::string params;    // raw "(...)" content, may be empty
+    std::string operands;  // "q[0],q[1]"
+  };
+  std::vector<Pending> pending;
+  bool saw_header = false;
+  for (std::string& raw : statements) {
+    std::string stmt = trim(raw);
+    if (stmt.empty()) continue;
+    if (stmt.rfind("OPENQASM", 0) == 0) {
+      saw_header = true;
+      continue;
+    }
+    if (stmt.rfind("include", 0) == 0 || stmt.rfind("creg", 0) == 0 ||
+        stmt.rfind("barrier", 0) == 0 || stmt.rfind("measure", 0) == 0 ||
+        stmt.rfind("reset", 0) == 0) {
+      continue;
+    }
+    if (stmt.rfind("gate", 0) == 0 || stmt.rfind("opaque", 0) == 0 ||
+        stmt.rfind("if", 0) == 0) {
+      return Status::Unsupported("QASM statement not supported: " +
+                                 stmt.substr(0, 24));
+    }
+    if (stmt.rfind("qreg", 0) == 0) {
+      // qreg name[k]
+      size_t lb = stmt.find('['), rb = stmt.find(']');
+      if (lb == std::string::npos || rb == std::string::npos) {
+        return Status::ParseError("malformed qreg: " + stmt);
+      }
+      std::string name = trim(stmt.substr(4, lb - 4));
+      int width = std::atoi(stmt.substr(lb + 1, rb - lb - 1).c_str());
+      if (width <= 0) return Status::ParseError("bad qreg width: " + stmt);
+      reg_offset[name] = total_qubits;
+      total_qubits += width;
+      continue;
+    }
+    // Gate application: name[(params)] operands
+    size_t name_end = 0;
+    while (name_end < stmt.size() &&
+           (std::isalnum(static_cast<unsigned char>(stmt[name_end])) ||
+            stmt[name_end] == '_')) {
+      ++name_end;
+    }
+    if (name_end == 0) return Status::ParseError("malformed statement: " + stmt);
+    Pending p;
+    p.name = stmt.substr(0, name_end);
+    size_t rest = name_end;
+    while (rest < stmt.size() &&
+           std::isspace(static_cast<unsigned char>(stmt[rest]))) {
+      ++rest;
+    }
+    if (rest < stmt.size() && stmt[rest] == '(') {
+      size_t close = stmt.find(')', rest);
+      if (close == std::string::npos) {
+        return Status::ParseError("missing ')' in: " + stmt);
+      }
+      p.params = stmt.substr(rest + 1, close - rest - 1);
+      rest = close + 1;
+    }
+    p.operands = trim(stmt.substr(rest));
+    pending.push_back(std::move(p));
+  }
+  if (!saw_header) {
+    return Status::ParseError("missing OPENQASM 2.0 header");
+  }
+  if (total_qubits == 0) return Status::ParseError("no qreg declared");
+
+  QuantumCircuit circuit(total_qubits, "qasm");
+  QY_RETURN_IF_ERROR(circuit.status());
+  for (const Pending& p : pending) {
+    QY_ASSIGN_OR_RETURN(QasmGateSpec spec, LookupQasmGate(p.name));
+    Gate gate;
+    gate.type = spec.type;
+    // Parameters.
+    if (spec.params > 0) {
+      std::stringstream ss(p.params);
+      std::string piece;
+      while (std::getline(ss, piece, ',')) {
+        QY_ASSIGN_OR_RETURN(double v, ParamParser(piece).Parse());
+        gate.params.push_back(v);
+      }
+      if (static_cast<int>(gate.params.size()) != spec.params) {
+        return Status::ParseError("gate " + p.name + " expects " +
+                                  std::to_string(spec.params) + " params");
+      }
+      if (p.name == "u2" ) {
+        // never reached (u2 not in table) — kept for clarity
+      }
+    }
+    // Operands: reg[idx], comma separated.
+    std::stringstream ss(p.operands);
+    std::string piece;
+    while (std::getline(ss, piece, ',')) {
+      std::string operand = trim(piece);
+      size_t lb = operand.find('['), rb = operand.find(']');
+      if (lb == std::string::npos || rb == std::string::npos) {
+        return Status::Unsupported(
+            "whole-register gate application not supported: " + operand);
+      }
+      std::string reg = trim(operand.substr(0, lb));
+      auto it = reg_offset.find(reg);
+      if (it == reg_offset.end()) {
+        return Status::ParseError("unknown register: " + reg);
+      }
+      int idx = std::atoi(operand.substr(lb + 1, rb - lb - 1).c_str());
+      gate.qubits.push_back(it->second + idx);
+    }
+    if (static_cast<int>(gate.qubits.size()) != spec.qubits) {
+      return Status::ParseError("gate " + p.name + " expects " +
+                                std::to_string(spec.qubits) + " qubits");
+    }
+    QY_RETURN_IF_ERROR(circuit.AddGate(std::move(gate)));
+  }
+  return circuit;
+}
+
+Result<QuantumCircuit> ReadQasmFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return CircuitFromQasm(buffer.str());
+}
+
+Result<std::string> CircuitToQasm(const QuantumCircuit& circuit) {
+  QY_RETURN_IF_ERROR(circuit.status());
+  std::string out = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[" +
+                    std::to_string(circuit.num_qubits()) + "];\n";
+  for (const Gate& gate : circuit.gates()) {
+    if (gate.type == GateType::kCustom) {
+      return Status::Unsupported("custom unitary gates have no QASM 2.0 form");
+    }
+    out += GateTypeName(gate.type);
+    if (!gate.params.empty()) {
+      std::vector<std::string> params;
+      for (double p : gate.params) params.push_back(DoubleToSql(p));
+      out += "(" + StrJoin(params, ",") + ")";
+    }
+    std::vector<std::string> operands;
+    for (int q : gate.qubits) operands.push_back("q[" + std::to_string(q) + "]");
+    out += " " + StrJoin(operands, ",") + ";\n";
+  }
+  return out;
+}
+
+}  // namespace qy::qc

@@ -1,0 +1,29 @@
+/// \file qasm.h
+/// OpenQASM 2.0 (subset) importer — the second "standardized format" for the
+/// paper's File Upload path (Sec. 3.1) next to JSON.
+///
+/// Supported: OPENQASM 2.0 header, include (ignored), one or more qreg
+/// declarations (concatenated in order), creg (ignored), the qelib1 gate set
+/// that maps onto our GateType (h x y z s sdg t tdg sx id rx ry rz p u1 u2
+/// u3 u cx cy cz cp crz swap ccx cswap), parameter expressions over numbers
+/// and `pi` with + - * / and parentheses, `barrier` (ignored) and `measure`
+/// (ignored — states are read out exactly). Custom gate definitions are not
+/// supported and produce kUnsupported.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qy::qc {
+
+/// Parse OpenQASM 2.0 text into a circuit.
+Result<QuantumCircuit> CircuitFromQasm(const std::string& qasm_text);
+
+/// Read a .qasm file.
+Result<QuantumCircuit> ReadQasmFile(const std::string& path);
+
+/// Serialize a circuit to OpenQASM 2.0 (custom-matrix gates are rejected).
+Result<std::string> CircuitToQasm(const QuantumCircuit& circuit);
+
+}  // namespace qy::qc

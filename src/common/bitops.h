@@ -1,0 +1,66 @@
+/// \file bitops.h
+/// Bit-level helpers used both by the simulators and by the SQL translation
+/// layer (Table 1 of the paper: & | ~ << >> are the primitives that let SQL
+/// address individual qubits inside an integer-encoded basis state).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/int128.h"
+
+namespace qy {
+
+/// Basis-state index wide enough for up to 126 qubits.
+using BasisIndex = uint128_t;
+
+/// Extract the bit of `s` at position `q` (qubit q), as 0/1.
+inline uint64_t GetBit(BasisIndex s, int q) {
+  return static_cast<uint64_t>((s >> q) & 1);
+}
+
+/// Set/clear the bit of `s` at position `q`.
+inline BasisIndex SetBit(BasisIndex s, int q, uint64_t bit) {
+  BasisIndex mask = static_cast<BasisIndex>(1) << q;
+  return bit ? (s | mask) : (s & ~mask);
+}
+
+/// Gather the bits of `s` at positions `qubits[0..k)` into a k-bit integer:
+/// result bit i = bit qubits[i] of s. This is the "filter qubit for input
+/// states" step of the paper's join condition, generalized to non-contiguous
+/// qubit sets.
+inline uint64_t GatherBits(BasisIndex s, const std::vector<int>& qubits) {
+  uint64_t out = 0;
+  for (size_t i = 0; i < qubits.size(); ++i) {
+    out |= GetBit(s, qubits[i]) << i;
+  }
+  return out;
+}
+
+/// Scatter the low k bits of `local` to positions `qubits[0..k)`:
+/// bit qubits[i] of result = bit i of local. Inverse of GatherBits.
+inline BasisIndex ScatterBits(uint64_t local, const std::vector<int>& qubits) {
+  BasisIndex out = 0;
+  for (size_t i = 0; i < qubits.size(); ++i) {
+    out |= static_cast<BasisIndex>((local >> i) & 1) << qubits[i];
+  }
+  return out;
+}
+
+/// Mask with 1s at all positions in `qubits`.
+inline BasisIndex QubitMask(const std::vector<int>& qubits) {
+  BasisIndex m = 0;
+  for (int q : qubits) m |= static_cast<BasisIndex>(1) << q;
+  return m;
+}
+
+/// True if the qubit positions are contiguous ascending (q, q+1, ..., q+k-1).
+/// The contiguous case admits the compact shift-based SQL of Fig. 2.
+inline bool IsContiguousAscending(const std::vector<int>& qubits) {
+  for (size_t i = 1; i < qubits.size(); ++i) {
+    if (qubits[i] != qubits[i - 1] + 1) return false;
+  }
+  return !qubits.empty();
+}
+
+}  // namespace qy

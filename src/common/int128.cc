@@ -1,0 +1,51 @@
+#include "common/int128.h"
+
+namespace qy {
+
+std::string UInt128ToString(uint128_t v) {
+  if (v == 0) return "0";
+  char buf[40];
+  int pos = 40;
+  while (v != 0) {
+    buf[--pos] = static_cast<char>('0' + static_cast<int>(v % 10));
+    v /= 10;
+  }
+  return std::string(buf + pos, 40 - pos);
+}
+
+std::string Int128ToString(int128_t v) {
+  if (v >= 0) return UInt128ToString(static_cast<uint128_t>(v));
+  // Negate via unsigned arithmetic so INT128_MIN round-trips.
+  uint128_t mag = ~static_cast<uint128_t>(v) + 1;
+  return "-" + UInt128ToString(mag);
+}
+
+Result<int128_t> ParseInt128(const std::string& text) {
+  if (text.empty()) return Status::ParseError("empty int128 literal");
+  size_t i = 0;
+  bool negative = false;
+  if (text[0] == '+' || text[0] == '-') {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  if (i >= text.size()) return Status::ParseError("sign-only int128 literal");
+  uint128_t acc = 0;
+  const uint128_t limit =
+      negative ? (static_cast<uint128_t>(1) << 127)
+               : (static_cast<uint128_t>(1) << 127) - 1;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') {
+      return Status::ParseError("invalid digit in int128 literal: " + text);
+    }
+    uint128_t digit = static_cast<uint128_t>(c - '0');
+    if (acc > (limit - digit) / 10) {
+      return Status::ParseError("int128 literal out of range: " + text);
+    }
+    acc = acc * 10 + digit;
+  }
+  if (negative) return static_cast<int128_t>(~acc + 1);
+  return static_cast<int128_t>(acc);
+}
+
+}  // namespace qy

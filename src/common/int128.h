@@ -1,0 +1,48 @@
+/// \file int128.h
+/// 128-bit integer support.
+///
+/// Qymera encodes an n-qubit basis state as an integer index. With int64 the
+/// engine caps out at 62 qubits; the paper's headline sparse-circuit results
+/// need wider indices, so the SQL engine carries a HUGEINT (__int128) type and
+/// the basis-state index type used across simulators is 128-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace qy {
+
+using int128_t = __int128;
+using uint128_t = unsigned __int128;
+
+/// Decimal rendering of a signed 128-bit integer.
+std::string Int128ToString(int128_t v);
+/// Decimal rendering of an unsigned 128-bit integer.
+std::string UInt128ToString(uint128_t v);
+
+/// Parse a decimal string (optionally signed) into int128. Fails on overflow
+/// or trailing garbage.
+Result<int128_t> ParseInt128(const std::string& text);
+
+/// 64-bit mix hash of a 128-bit value (splitmix-style avalanche per half).
+inline uint64_t HashUInt128(uint128_t v) {
+  auto mix = [](uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  uint64_t lo = static_cast<uint64_t>(v);
+  uint64_t hi = static_cast<uint64_t>(v >> 64);
+  return mix(lo) ^ (mix(hi) * 0x9e3779b97f4a7c15ULL);
+}
+
+/// std::hash-compatible functor for uint128 map keys.
+struct UInt128Hash {
+  size_t operator()(uint128_t v) const { return HashUInt128(v); }
+};
+
+}  // namespace qy

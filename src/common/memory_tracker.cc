@@ -1,0 +1,45 @@
+#include "common/memory_tracker.h"
+
+namespace qy {
+
+Status MemoryTracker::Reserve(uint64_t bytes) {
+  uint64_t budget = budget_.load(std::memory_order_relaxed);
+  uint64_t prior = used_.load(std::memory_order_relaxed);
+  while (true) {
+    if (budget != kUnlimited && prior + bytes > budget) {
+      return Status::OutOfMemory(
+          "memory budget exceeded: used=" + std::to_string(prior) +
+          " request=" + std::to_string(bytes) +
+          " budget=" + std::to_string(budget));
+    }
+    if (used_.compare_exchange_weak(prior, prior + bytes,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  uint64_t now = prior + bytes;
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::ReserveUnchecked(uint64_t bytes) {
+  uint64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::Release(uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryTracker::Reset() {
+  used_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace qy

@@ -1,0 +1,89 @@
+/// \file memory_tracker.h
+/// Cooperative memory accounting with a hard budget.
+///
+/// The paper's headline experiment caps simulation memory at 2.0 GB and asks
+/// which backend can still make progress. Every large allocation in the SQL
+/// engine and the simulators is registered against a MemoryTracker; when a
+/// reservation would exceed the budget the component either spills to disk
+/// (hash aggregate / hash join) or fails with StatusCode::kOutOfMemory (dense
+/// state vector), which is exactly the "memory wall" behaviour benchmarked in
+/// experiment E3.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+
+namespace qy {
+
+/// Tracks current and peak reserved bytes against an optional budget.
+/// Thread-compatible (atomics); budget enforcement is advisory-cooperative.
+class MemoryTracker {
+ public:
+  static constexpr uint64_t kUnlimited =
+      std::numeric_limits<uint64_t>::max();
+
+  explicit MemoryTracker(uint64_t budget_bytes = kUnlimited)
+      : budget_(budget_bytes) {}
+
+  /// Reserve `bytes`; fails (without reserving) if it would exceed budget.
+  Status Reserve(uint64_t bytes);
+
+  /// Reserve without budget check (used after a spill decision was made).
+  void ReserveUnchecked(uint64_t bytes);
+
+  /// Release previously reserved bytes.
+  void Release(uint64_t bytes);
+
+  /// Would reserving `bytes` exceed the budget?
+  bool WouldExceed(uint64_t bytes) const {
+    uint64_t b = budget_.load(std::memory_order_relaxed);
+    return b != kUnlimited && used_.load(std::memory_order_relaxed) + bytes > b;
+  }
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  uint64_t budget() const { return budget_.load(std::memory_order_relaxed); }
+
+  void set_budget(uint64_t bytes) { budget_.store(bytes); }
+
+  /// Reset usage/peak counters (budget is kept).
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> budget_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+/// RAII reservation: releases on destruction what was reserved.
+class ScopedReservation {
+ public:
+  explicit ScopedReservation(MemoryTracker* tracker) : tracker_(tracker) {}
+  ~ScopedReservation() { ReleaseAll(); }
+
+  ScopedReservation(const ScopedReservation&) = delete;
+  ScopedReservation& operator=(const ScopedReservation&) = delete;
+
+  Status Reserve(uint64_t bytes) {
+    QY_RETURN_IF_ERROR(tracker_->Reserve(bytes));
+    held_ += bytes;
+    return Status::OK();
+  }
+
+  void ReleaseAll() {
+    if (held_ > 0) tracker_->Release(held_);
+    held_ = 0;
+  }
+
+  uint64_t held() const { return held_; }
+
+ private:
+  MemoryTracker* tracker_;
+  uint64_t held_ = 0;
+};
+
+}  // namespace qy

@@ -1,0 +1,40 @@
+/// \file random.h
+/// Deterministic PRNG wrapper used by workload generators and property tests.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace qy {
+
+/// Thin wrapper over std::mt19937_64 with convenience samplers. Seeded
+/// explicitly everywhere so experiments and property tests are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform angle in [0, 2*pi).
+  double UniformAngle() { return UniformDouble() * 6.283185307179586; }
+
+  /// Bernoulli trial.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qy

@@ -1,0 +1,124 @@
+/// \file status.h
+/// Error model for the whole library: Status and Result<T>.
+///
+/// No exceptions cross public API boundaries (Arrow/Google style). Functions
+/// that can fail return qy::Status, or qy::Result<T> when they produce a
+/// value. The QY_RETURN_IF_ERROR / QY_ASSIGN_OR_RETURN macros keep call sites
+/// terse.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace qy {
+
+/// Machine-readable error category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kParseError,        ///< SQL / JSON / circuit text could not be parsed
+  kBindError,         ///< name/type resolution failed
+  kNotFound,          ///< catalog object missing
+  kAlreadyExists,     ///< catalog object duplicated
+  kOutOfMemory,       ///< memory budget exceeded
+  kUnsupported,       ///< feature not implemented for these inputs
+  kIoError,           ///< temp-file / filesystem failure
+  kInternal,          ///< invariant violation (bug)
+};
+
+/// Human-readable name of a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status BindError(std::string m) {
+    return Status(StatusCode::kBindError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status OutOfMemory(std::string m) {
+    return Status(StatusCode::kOutOfMemory, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Holds either a T or an error Status. Inspect with ok()/status()/value().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+  T& value() & { return std::get<T>(payload_); }
+  const T& value() const& { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace qy
+
+/// Propagate a non-OK Status to the caller.
+#define QY_RETURN_IF_ERROR(expr)                   \
+  do {                                             \
+    ::qy::Status _qy_status = (expr);              \
+    if (!_qy_status.ok()) return _qy_status;       \
+  } while (0)
+
+#define QY_CONCAT_IMPL(a, b) a##b
+#define QY_CONCAT(a, b) QY_CONCAT_IMPL(a, b)
+
+/// Evaluate a Result<T> expression; on error return it, else bind the value.
+#define QY_ASSIGN_OR_RETURN(lhs, expr)                              \
+  auto QY_CONCAT(_qy_result_, __LINE__) = (expr);                   \
+  if (!QY_CONCAT(_qy_result_, __LINE__).ok())                       \
+    return QY_CONCAT(_qy_result_, __LINE__).status();               \
+  lhs = std::move(QY_CONCAT(_qy_result_, __LINE__)).value()

@@ -1,0 +1,53 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdio>
+#include <limits>
+
+namespace qy {
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string AsciiToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string AsciiToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string DoubleToSql(double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*g", std::numeric_limits<double>::max_digits10,
+           v);
+  std::string out = buf;
+  // Ensure the literal stays a DOUBLE in SQL (avoid "1" parsing as BIGINT).
+  if (out.find('.') == std::string::npos && out.find('e') == std::string::npos &&
+      out.find("inf") == std::string::npos && out.find("nan") == std::string::npos) {
+    out += ".0";
+  }
+  return out;
+}
+
+}  // namespace qy

@@ -1,0 +1,35 @@
+/// \file strings.h
+/// Small string utilities (join, case folding, numeric formatting) shared by
+/// the SQL frontend and the translators.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace qy {
+
+/// Join `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// ASCII upper/lower (SQL keywords are case-insensitive).
+std::string AsciiToUpper(std::string s);
+std::string AsciiToLower(std::string s);
+
+/// True if `a` equals `b` ignoring ASCII case.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Render a double as a SQL literal that round-trips (max_digits10).
+std::string DoubleToSql(double v);
+
+/// sprintf-style convenience for simple formatting needs.
+template <typename... Args>
+std::string StrFormat(const char* fmt, Args... args) {
+  int size = snprintf(nullptr, 0, fmt, args...);
+  std::string out(size > 0 ? size : 0, '\0');
+  if (size > 0) snprintf(out.data(), size + 1, fmt, args...);
+  return out;
+}
+
+}  // namespace qy

@@ -1,0 +1,79 @@
+#include "common/temp_file.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+namespace qy {
+
+namespace fs = std::filesystem;
+
+TempFile::~TempFile() {
+  if (file_ != nullptr) std::fclose(file_);
+  std::error_code ec;
+  fs::remove(path_, ec);
+}
+
+Status TempFile::WriteBytes(const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, file_) != n) {
+    return Status::IoError("short write to " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  bytes_written_ += n;
+  return Status::OK();
+}
+
+Status TempFile::Rewind() {
+  if (std::fflush(file_) != 0 || std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IoError("rewind failed for " + path_);
+  }
+  return Status::OK();
+}
+
+Status TempFile::ReadBytes(void* data, size_t n, bool* eof) {
+  *eof = false;
+  size_t got = std::fread(data, 1, n, file_);
+  if (got == n) return Status::OK();
+  if (got == 0 && std::feof(file_)) {
+    *eof = true;
+    return Status::OK();
+  }
+  return Status::IoError("short read from " + path_);
+}
+
+TempFileManager::TempFileManager() {
+  std::string base = fs::temp_directory_path().string() + "/qymera_spill_";
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::string candidate =
+        base + std::to_string(::getpid()) + "_" + std::to_string(attempt);
+    std::error_code ec;
+    if (fs::create_directories(candidate, ec) && !ec) {
+      dir_ = candidate;
+      return;
+    }
+  }
+  dir_ = base + "fallback";
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+}
+
+TempFileManager::~TempFileManager() {
+  std::error_code ec;
+  fs::remove_all(dir_, ec);
+}
+
+Result<std::unique_ptr<TempFile>> TempFileManager::Create(
+    const std::string& hint) {
+  std::string path = dir_ + "/" + hint + "_" + std::to_string(counter_++);
+  std::FILE* f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::IoError("cannot create temp file " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<TempFile>(new TempFile(std::move(path), f));
+}
+
+}  // namespace qy

@@ -1,0 +1,70 @@
+/// \file temp_file.h
+/// Temp-file management for out-of-core execution (hash aggregate / hash join
+/// spill partitions). Files live under a per-manager directory and are removed
+/// when the manager is destroyed.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qy {
+
+/// A binary read/write temp file with little-endian raw encoding helpers.
+class TempFile {
+ public:
+  ~TempFile();
+
+  TempFile(const TempFile&) = delete;
+  TempFile& operator=(const TempFile&) = delete;
+
+  const std::string& path() const { return path_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  Status WriteBytes(const void* data, size_t n);
+  Status WriteU64(uint64_t v) { return WriteBytes(&v, sizeof(v)); }
+
+  /// Finish writing and reposition at the start for reading.
+  Status Rewind();
+
+  /// Read exactly n bytes; *eof set when the file is exhausted before any
+  /// byte is read. A short read mid-record is an IoError.
+  Status ReadBytes(void* data, size_t n, bool* eof);
+
+ private:
+  friend class TempFileManager;
+  TempFile(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Creates temp files in a unique directory; deletes everything on destruct.
+class TempFileManager {
+ public:
+  TempFileManager();
+  ~TempFileManager();
+
+  TempFileManager(const TempFileManager&) = delete;
+  TempFileManager& operator=(const TempFileManager&) = delete;
+
+  /// Create a fresh temp file opened for write+read.
+  Result<std::unique_ptr<TempFile>> Create(const std::string& hint);
+
+  const std::string& dir() const { return dir_; }
+  uint64_t total_spilled_bytes() const { return total_spilled_; }
+  void AddSpilledBytes(uint64_t n) { total_spilled_ += n; }
+
+ private:
+  std::string dir_;
+  uint64_t counter_ = 0;
+  uint64_t total_spilled_ = 0;
+};
+
+}  // namespace qy

@@ -1,0 +1,52 @@
+/// \file alt_encodings.h
+/// Alternative relational encodings used as ablation baselines for the
+/// Discussion in paper Sec. 2.2:
+///
+/// * StringEncodedSimulator — qubit states as VARCHAR bitstrings (the
+///   approach of Trummer, "Towards Out-of-Core Simulators for Quantum
+///   Computing" [6]). Joins match SUBSTR() slices and output states are
+///   rebuilt with CONCAT(); the paper argues this "increases storage costs
+///   and complicates indexing" versus Qymera's integer encoding.
+///
+/// * TensorColumnSimulator — one column per qubit (the einsum-in-SQL layout
+///   of Blacher et al. [2]): "multiple columns per index dimension, leading
+///   to no clear performance advantage". Joins equate per-qubit columns and
+///   GROUP BY lists every qubit column.
+///
+/// Both implement sim::Simulator on top of the same relsql engine, so
+/// experiment E10 compares encodings with everything else held fixed.
+#pragma once
+
+#include "core/qymera_sim.h"
+
+namespace qy::core {
+
+/// [6]-style VARCHAR bitstring encoding. Practical up to ~24 qubits.
+class StringEncodedSimulator : public sim::Simulator {
+ public:
+  explicit StringEncodedSimulator(QymeraOptions options = QymeraOptions())
+      : Simulator(options.base), qopts_(options) {}
+
+  std::string name() const override { return "sql-string"; }
+
+  Result<sim::SparseState> Run(const qc::QuantumCircuit& circuit) override;
+
+ private:
+  QymeraOptions qopts_;
+};
+
+/// [2]-style one-column-per-qubit encoding. Practical up to ~20 qubits.
+class TensorColumnSimulator : public sim::Simulator {
+ public:
+  explicit TensorColumnSimulator(QymeraOptions options = QymeraOptions())
+      : Simulator(options.base), qopts_(options) {}
+
+  std::string name() const override { return "sql-tensor"; }
+
+  Result<sim::SparseState> Run(const qc::QuantumCircuit& circuit) override;
+
+ private:
+  QymeraOptions qopts_;
+};
+
+}  // namespace qy::core

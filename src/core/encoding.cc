@@ -1,0 +1,126 @@
+#include "core/encoding.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace qy::core {
+
+using sql::DataType;
+using sql::Value;
+
+std::string GateTableName(const qc::Gate& gate, const qc::GateMatrix& matrix) {
+  std::string base = std::string("g_") + qc::GateTypeName(gate.type);
+  if (gate.params.empty() && gate.type != qc::GateType::kCustom) {
+    return base;
+  }
+  // Content hash over parameters / matrix entries. Each double is run
+  // through a full avalanche so sign-bit-only differences (theta vs -theta)
+  // cannot collide in the truncated suffix.
+  uint64_t h = 1469598103934665603ULL;
+  auto avalanche = [](uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  auto mix = [&](double d) {
+    uint64_t bits;
+    __builtin_memcpy(&bits, &d, sizeof(d));
+    h = avalanche(h ^ avalanche(bits));
+  };
+  for (double p : gate.params) mix(p);
+  if (gate.type == qc::GateType::kCustom) {
+    for (const qc::Complex& c : matrix.m) {
+      mix(c.real());
+      mix(c.imag());
+    }
+  }
+  return base + "_" + qy::StrFormat("%016llx", static_cast<unsigned long long>(h));
+}
+
+Result<EncodedGate> EncodeGate(const qc::Gate& gate, double eps) {
+  QY_ASSIGN_OR_RETURN(qc::GateMatrix u, qc::MatrixForGate(gate));
+  EncodedGate out;
+  out.table_name = GateTableName(gate, u);
+  out.arity = static_cast<int>(gate.qubits.size());
+  for (int row = 0; row < u.dim; ++row) {
+    for (int col = 0; col < u.dim; ++col) {
+      qc::Complex v = u.At(row, col);
+      if (std::abs(v) <= eps) continue;
+      out.rows.push_back({col, row, v.real(), v.imag()});
+    }
+  }
+  return out;
+}
+
+Status MaterializeGateTable(sql::Database* db, const EncodedGate& gate) {
+  if (db->catalog().HasTable(gate.table_name)) return Status::OK();
+  sql::Schema schema;
+  schema.AddColumn("in_s", DataType::kBigInt);
+  schema.AddColumn("out_s", DataType::kBigInt);
+  schema.AddColumn("r", DataType::kDouble);
+  schema.AddColumn("i", DataType::kDouble);
+  QY_ASSIGN_OR_RETURN(sql::Table * table,
+                      db->catalog().CreateTable(gate.table_name, schema));
+  for (const GateRow& row : gate.rows) {
+    QY_RETURN_IF_ERROR(table->AppendRow(
+        {Value::BigInt(row.in_s), Value::BigInt(row.out_s),
+         Value::Double(row.r), Value::Double(row.i)}));
+  }
+  return Status::OK();
+}
+
+Status MaterializeStateTable(sql::Database* db, const std::string& name,
+                             const sim::SparseState& state, bool use_hugeint) {
+  sql::Schema schema;
+  schema.AddColumn("s", use_hugeint ? DataType::kHugeInt : DataType::kBigInt);
+  schema.AddColumn("r", DataType::kDouble);
+  schema.AddColumn("i", DataType::kDouble);
+  QY_RETURN_IF_ERROR(db->catalog().DropTable(name, /*if_exists=*/true));
+  QY_ASSIGN_OR_RETURN(sql::Table * table,
+                      db->catalog().CreateTable(name, schema));
+  for (const auto& [idx, amp] : state.amplitudes()) {
+    Value s = use_hugeint
+                  ? Value::HugeInt(static_cast<qy::int128_t>(idx))
+                  : Value::BigInt(static_cast<int64_t>(idx));
+    QY_RETURN_IF_ERROR(table->AppendRow(
+        {s, Value::Double(amp.real()), Value::Double(amp.imag())}));
+  }
+  return Status::OK();
+}
+
+Result<sim::SparseState> ReadStateTable(sql::Database* db,
+                                        const std::string& name,
+                                        int num_qubits, double prune_epsilon) {
+  QY_ASSIGN_OR_RETURN(sql::Table * table, db->catalog().GetTable(name));
+  int s_col = table->schema().FindColumn("s");
+  int r_col = table->schema().FindColumn("r");
+  int i_col = table->schema().FindColumn("i");
+  if (s_col < 0 || r_col < 0 || i_col < 0) {
+    return Status::InvalidArgument("table " + name +
+                                   " does not have (s, r, i) columns");
+  }
+  std::vector<std::pair<sim::BasisIndex, sim::Complex>> amps;
+  amps.reserve(table->NumRows());
+  double cut = prune_epsilon * prune_epsilon;
+  const sql::ColumnVector& sc = table->column(s_col);
+  const sql::ColumnVector& rc = table->column(r_col);
+  const sql::ColumnVector& ic = table->column(i_col);
+  for (uint64_t row = 0; row < table->NumRows(); ++row) {
+    double re = rc.f64_data()[row];
+    double im = ic.f64_data()[row];
+    if (re * re + im * im <= cut) continue;
+    sim::BasisIndex idx;
+    if (sc.type() == DataType::kHugeInt) {
+      idx = static_cast<sim::BasisIndex>(sc.i128_data()[row]);
+    } else {
+      idx = static_cast<sim::BasisIndex>(
+          static_cast<uint64_t>(sc.i64_data()[row]));
+    }
+    amps.emplace_back(idx, sim::Complex{re, im});
+  }
+  return sim::SparseState(num_qubits, std::move(amps));
+}
+
+}  // namespace qy::core

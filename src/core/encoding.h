@@ -1,0 +1,57 @@
+/// \file encoding.h
+/// Relational encoding of quantum states and gates (paper Sec. 2.1).
+///
+/// State schema  T(s, r, i): s = integer-encoded basis state (BIGINT, or
+/// HUGEINT beyond 62 qubits), (r, i) = complex amplitude. Only nonzero
+/// entries are stored.
+/// Gate schema   G(in_s, out_s, r, i): one row per nonzero matrix entry
+/// U[out_s][in_s] over the gate's local qubits (local bit i = gate qubit i).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+#include "sim/state.h"
+#include "sql/database.h"
+
+namespace qy::core {
+
+/// One row of a gate relation.
+struct GateRow {
+  int64_t in_s;
+  int64_t out_s;
+  double r;
+  double i;
+};
+
+/// A gate lowered to its relation (rows of nonzero transition amplitudes).
+struct EncodedGate {
+  std::string table_name;  ///< e.g. "g_h", "g_cx", "g_rz_a3f2"
+  int arity = 1;
+  std::vector<GateRow> rows;
+};
+
+/// Deterministic, collision-resistant table name for a gate: standard gates
+/// without parameters map to fixed names ("g_h"); parameterized/custom gates
+/// get a content-hash suffix so equal gates share one table.
+std::string GateTableName(const qc::Gate& gate, const qc::GateMatrix& matrix);
+
+/// Encode a gate's unitary into relation rows (entries with |u| <= eps
+/// dropped; gate matrices are tiny so eps only removes exact zeros).
+Result<EncodedGate> EncodeGate(const qc::Gate& gate, double eps = 1e-15);
+
+/// Create (or reuse) the gate's table inside `db` and load its rows.
+Status MaterializeGateTable(sql::Database* db, const EncodedGate& gate);
+
+/// Create the state table `name` with the proper integer width and load the
+/// sparse state's nonzero amplitudes.
+Status MaterializeStateTable(sql::Database* db, const std::string& name,
+                             const sim::SparseState& state, bool use_hugeint);
+
+/// Read a state table (columns s, r, i) back into a SparseState.
+Result<sim::SparseState> ReadStateTable(sql::Database* db,
+                                        const std::string& name,
+                                        int num_qubits, double prune_epsilon);
+
+}  // namespace qy::core

@@ -1,0 +1,98 @@
+#include "core/fusion.h"
+
+#include <algorithm>
+
+namespace qy::core {
+
+namespace {
+
+/// Pending fusion group.
+struct Group {
+  std::vector<int> qubits;          ///< sorted ascending
+  qc::GateMatrix matrix;            ///< over the sorted qubit set
+  std::vector<qc::Gate> originals;  ///< for single-gate passthrough
+};
+
+/// Position of each `gate_qubit` within `space` (sorted).
+std::vector<int> LocalPositions(const std::vector<int>& gate_qubits,
+                                const std::vector<int>& space) {
+  std::vector<int> pos(gate_qubits.size());
+  for (size_t i = 0; i < gate_qubits.size(); ++i) {
+    for (size_t j = 0; j < space.size(); ++j) {
+      if (space[j] == gate_qubits[i]) pos[i] = static_cast<int>(j);
+    }
+  }
+  return pos;
+}
+
+Status FlushGroup(qc::QuantumCircuit* out, Group* group) {
+  if (group->originals.empty()) return Status::OK();
+  if (group->originals.size() == 1) {
+    QY_RETURN_IF_ERROR(out->AddGate(group->originals[0]));
+  } else {
+    qc::Gate fused;
+    fused.type = qc::GateType::kCustom;
+    fused.qubits = group->qubits;
+    fused.matrix = group->matrix.m;
+    fused.label = "fused" + std::to_string(group->originals.size());
+    QY_RETURN_IF_ERROR(out->AddGate(std::move(fused)));
+  }
+  group->originals.clear();
+  group->qubits.clear();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<qc::QuantumCircuit> FuseGates(const qc::QuantumCircuit& circuit,
+                                     const FusionOptions& options,
+                                     FusionStats* stats) {
+  QY_RETURN_IF_ERROR(circuit.status());
+  qc::QuantumCircuit out(circuit.num_qubits(), circuit.name() + "_fused");
+  Group group;
+  for (const qc::Gate& gate : circuit.gates()) {
+    QY_ASSIGN_OR_RETURN(qc::GateMatrix u, qc::MatrixForGate(gate));
+    // Union of group qubits and gate qubits, sorted.
+    std::vector<int> merged = group.qubits;
+    for (int q : gate.qubits) {
+      if (std::find(merged.begin(), merged.end(), q) == merged.end()) {
+        merged.push_back(q);
+      }
+    }
+    std::sort(merged.begin(), merged.end());
+    if (!group.originals.empty() &&
+        static_cast<int>(merged.size()) > options.max_qubits) {
+      QY_RETURN_IF_ERROR(FlushGroup(&out, &group));
+      merged.assign(gate.qubits.begin(), gate.qubits.end());
+      std::sort(merged.begin(), merged.end());
+    }
+    if (static_cast<int>(merged.size()) > options.max_qubits) {
+      // The gate alone exceeds the cap: pass it through unfused.
+      QY_RETURN_IF_ERROR(out.AddGate(gate));
+      continue;
+    }
+    int arity = static_cast<int>(merged.size());
+    qc::GateMatrix gate_embedded =
+        qc::EmbedMatrix(u, LocalPositions(gate.qubits, merged), arity);
+    if (group.originals.empty()) {
+      group.qubits = merged;
+      group.matrix = gate_embedded;
+    } else {
+      qc::GateMatrix acc_embedded = qc::EmbedMatrix(
+          group.matrix, LocalPositions(group.qubits, merged), arity);
+      // Later gate acts after: combined = U_gate * U_acc.
+      group.matrix = qc::MatMul(gate_embedded, acc_embedded);
+      group.qubits = merged;
+    }
+    group.originals.push_back(gate);
+  }
+  QY_RETURN_IF_ERROR(FlushGroup(&out, &group));
+  QY_RETURN_IF_ERROR(out.status());
+  if (stats != nullptr) {
+    stats->gates_before = static_cast<int>(circuit.gates().size());
+    stats->gates_after = static_cast<int>(out.gates().size());
+  }
+  return out;
+}
+
+}  // namespace qy::core

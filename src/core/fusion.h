@@ -1,0 +1,34 @@
+/// \file fusion.h
+/// Gate fusion (paper Sec. 3.2 "Query Optimization": consecutive gates are
+/// fused into a single SQL query where possible, minimizing intermediate
+/// results).
+///
+/// Greedy pass: adjacent gates whose combined qubit set stays within
+/// `max_qubits` are multiplied into one custom unitary, so the translated
+/// plan runs one join+aggregate instead of several. Fusing never changes
+/// semantics (experiment E8 measures the speedup).
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace qy::core {
+
+struct FusionOptions {
+  /// Upper bound on the fused gate's qubit count (gate table has 4^k rows).
+  int max_qubits = 2;
+};
+
+/// Statistics of a fusion pass.
+struct FusionStats {
+  int gates_before = 0;
+  int gates_after = 0;
+};
+
+/// Fuse consecutive gates; returns an equivalent circuit with (usually)
+/// fewer, larger gates. Single-gate groups keep their original (named) gate
+/// so standard gate tables stay shared.
+Result<qc::QuantumCircuit> FuseGates(const qc::QuantumCircuit& circuit,
+                                     const FusionOptions& options = {},
+                                     FusionStats* stats = nullptr);
+
+}  // namespace qy::core

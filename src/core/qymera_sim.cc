@@ -1,0 +1,137 @@
+#include "core/qymera_sim.h"
+
+#include <chrono>
+
+namespace qy::core {
+
+Result<Translation> QymeraSimulator::Translate(
+    const qc::QuantumCircuit& circuit) const {
+  qc::QuantumCircuit prepared = circuit;
+  if (qopts_.enable_fusion) {
+    QY_ASSIGN_OR_RETURN(prepared, FuseGates(circuit, qopts_.fusion));
+  }
+  TranslateOptions topts;
+  topts.use_hugeint = qopts_.force_hugeint || circuit.num_qubits() > 62;
+  topts.prune_epsilon = options_.prune_epsilon;
+  topts.order_final = qopts_.final_order_by;
+  return TranslateCircuit(prepared, topts);
+}
+
+Result<RunSummary> QymeraSimulator::ExecuteInternal(
+    const qc::QuantumCircuit& circuit, sql::Database* db,
+    std::string* final_table, int* num_qubits) {
+  auto start = std::chrono::steady_clock::now();
+  QY_RETURN_IF_ERROR(circuit.status());
+  qc::QuantumCircuit prepared = circuit;
+  if (qopts_.enable_fusion) {
+    QY_ASSIGN_OR_RETURN(prepared, FuseGates(circuit, qopts_.fusion));
+  }
+  int n = prepared.num_qubits();
+  *num_qubits = n;
+  bool use_hugeint = qopts_.force_hugeint || n > 62;
+
+  TranslateOptions topts;
+  topts.use_hugeint = use_hugeint;
+  topts.prune_epsilon = options_.prune_epsilon;
+  topts.order_final = qopts_.final_order_by;
+  QY_ASSIGN_OR_RETURN(Translation translation,
+                      TranslateCircuit(prepared, topts));
+
+  // Load gate tables and the initial state |0...0>.
+  for (const EncodedGate& gate : translation.gate_tables) {
+    QY_RETURN_IF_ERROR(MaterializeGateTable(db, gate));
+  }
+  QY_RETURN_IF_ERROR(MaterializeStateTable(
+      db, "T0", sim::SparseState::ZeroState(n), use_hugeint));
+
+  RunSummary summary;
+  summary.max_intermediate_rows = 1;
+
+  if (qopts_.mode == QymeraOptions::Mode::kSingleQuery) {
+    if (translation.steps.empty()) {
+      *final_table = "T0";
+    } else {
+      // Materialize the full chained query into the final table.
+      QY_ASSIGN_OR_RETURN(
+          sql::QueryResult result,
+          db->Execute("CREATE TABLE qy_final AS " + translation.single_query));
+      summary.max_intermediate_rows =
+          std::max<uint64_t>(summary.max_intermediate_rows,
+                             result.rows_changed);
+      *final_table = "qy_final";
+    }
+  } else {
+    // One CREATE TABLE AS per gate, dropping the predecessor.
+    std::string current = "T0";
+    for (size_t k = 0; k < translation.steps.size(); ++k) {
+      const GateQuery& step = translation.steps[k];
+      QY_ASSIGN_OR_RETURN(
+          sql::QueryResult result,
+          db->Execute("CREATE TABLE " + step.output_table + " AS " +
+                      step.select_sql));
+      summary.max_intermediate_rows = std::max<uint64_t>(
+          summary.max_intermediate_rows, result.rows_changed);
+      QY_RETURN_IF_ERROR(db->ExecuteScript("DROP TABLE " + current));
+      current = step.output_table;
+      if (step_callback_) {
+        QY_ASSIGN_OR_RETURN(
+            sim::SparseState state,
+            ReadStateTable(db, current, n, options_.prune_epsilon));
+        QY_RETURN_IF_ERROR(
+            step_callback_(k, prepared.gates()[k], state));
+      }
+    }
+    *final_table = current;
+  }
+
+  // Row count + norm without materializing the state client-side.
+  QY_ASSIGN_OR_RETURN(
+      sql::QueryResult norm_result,
+      db->Execute("SELECT COUNT(*) AS rows, SUM(r * r + i * i) AS norm FROM " +
+                  *final_table));
+  summary.final_rows = static_cast<uint64_t>(norm_result.GetInt64(0, 0));
+  summary.norm_squared = norm_result.GetDouble(0, 1);
+  summary.rows_spilled = db->total_rows_spilled();
+
+  summary.metrics.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  summary.metrics.peak_bytes = db->tracker().peak();
+  summary.metrics.backend_stat = summary.max_intermediate_rows;
+  summary.metrics.backend_stat_name = "max_rows";
+  return summary;
+}
+
+Result<RunSummary> QymeraSimulator::Execute(const qc::QuantumCircuit& circuit) {
+  sql::DatabaseOptions dopts;
+  dopts.memory_budget_bytes = options_.memory_budget_bytes;
+  dopts.enable_spill = qopts_.enable_spill;
+  dopts.chunk_size = qopts_.chunk_size;
+  sql::Database db(dopts);
+  std::string final_table;
+  int n = 0;
+  QY_ASSIGN_OR_RETURN(RunSummary summary,
+                      ExecuteInternal(circuit, &db, &final_table, &n));
+  metrics_ = summary.metrics;
+  return summary;
+}
+
+Result<sim::SparseState> QymeraSimulator::Run(
+    const qc::QuantumCircuit& circuit) {
+  sql::DatabaseOptions dopts;
+  dopts.memory_budget_bytes = options_.memory_budget_bytes;
+  dopts.enable_spill = qopts_.enable_spill;
+  dopts.chunk_size = qopts_.chunk_size;
+  sql::Database db(dopts);
+  std::string final_table;
+  int n = 0;
+  QY_ASSIGN_OR_RETURN(RunSummary summary,
+                      ExecuteInternal(circuit, &db, &final_table, &n));
+  QY_ASSIGN_OR_RETURN(
+      sim::SparseState state,
+      ReadStateTable(&db, final_table, n, options_.prune_epsilon));
+  metrics_ = summary.metrics;
+  return state;
+}
+
+}  // namespace qy::core

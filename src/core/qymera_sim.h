@@ -1,0 +1,94 @@
+/// \file qymera_sim.h
+/// The Qymera RDBMS simulation driver: the end-to-end path of the paper
+/// (Fig. 1) — translate the circuit to SQL, execute inside the relational
+/// engine, read the final state relation back.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/fusion.h"
+#include "core/translator.h"
+#include "sim/simulator.h"
+
+namespace qy::core {
+
+struct QymeraOptions {
+  sim::SimOptions base;
+
+  /// Gate fusion (paper Sec. 3.2). Off by default so the executed SQL
+  /// matches the paper's one-query-per-gate shape; benches flip it on.
+  bool enable_fusion = false;
+  FusionOptions fusion;
+
+  /// Execution style:
+  /// kMaterializedSteps — one CREATE TABLE AS per gate, dropping the
+  ///   previous state (bounded to two live states; out-of-core friendly;
+  ///   enables step inspection).
+  /// kSingleQuery — the paper's Fig. 2c chained-CTE query.
+  enum class Mode { kMaterializedSteps, kSingleQuery };
+  Mode mode = Mode::kMaterializedSteps;
+
+  /// Let the hash aggregate spill partitions to disk under memory pressure
+  /// (paper Sec. 3.3 out-of-core simulation).
+  bool enable_spill = true;
+
+  /// ORDER BY s on the final query (Fig. 2c); costs a full sort.
+  bool final_order_by = false;
+
+  /// Force 128-bit state indices even for <= 62 qubits (testing).
+  bool force_hugeint = false;
+
+  /// Engine vector size.
+  size_t chunk_size = 2048;
+};
+
+/// Row-count/norm summary of a run that avoids materializing the state in
+/// client memory (used by out-of-core benches where the final relation is
+/// larger than the budget).
+struct RunSummary {
+  uint64_t final_rows = 0;
+  double norm_squared = 0;
+  uint64_t max_intermediate_rows = 0;
+  uint64_t rows_spilled = 0;
+  sim::SimMetrics metrics;
+};
+
+/// Called after each materialized step with the intermediate state
+/// (education scenario: inspect |psi>_k evolving). Only fires in
+/// kMaterializedSteps mode. Returning an error aborts the run.
+using StepCallback = std::function<Status(
+    size_t step, const qc::Gate& gate, const sim::SparseState& state)>;
+
+class QymeraSimulator : public sim::Simulator {
+ public:
+  explicit QymeraSimulator(QymeraOptions options = QymeraOptions())
+      : Simulator(options.base), qopts_(options) {}
+
+  std::string name() const override { return "qymera-sql"; }
+
+  /// Full run: execute in the RDBMS and read the final state back.
+  Result<sim::SparseState> Run(const qc::QuantumCircuit& circuit) override;
+
+  /// Run and keep the state in the database; returns counters only.
+  Result<RunSummary> Execute(const qc::QuantumCircuit& circuit);
+
+  /// Expose the SQL that Run would execute (education / debugging / tests).
+  Result<Translation> Translate(const qc::QuantumCircuit& circuit) const;
+
+  /// Install a per-step observer (see StepCallback).
+  void set_step_callback(StepCallback cb) { step_callback_ = std::move(cb); }
+
+  const QymeraOptions& qymera_options() const { return qopts_; }
+
+ private:
+  Result<RunSummary> ExecuteInternal(const qc::QuantumCircuit& circuit,
+                                     sql::Database* db,
+                                     std::string* final_table,
+                                     int* num_qubits);
+
+  QymeraOptions qopts_;
+  StepCallback step_callback_;
+};
+
+}  // namespace qy::core

@@ -1,0 +1,147 @@
+#include "core/translator.h"
+
+#include <map>
+
+#include "common/bitops.h"
+#include "common/strings.h"
+
+namespace qy::core {
+
+namespace {
+
+/// Decimal SQL literal of a (possibly 128-bit) mask.
+std::string MaskLiteral(qy::BasisIndex mask) {
+  if (mask <= static_cast<qy::BasisIndex>(INT64_MAX)) {
+    return std::to_string(static_cast<int64_t>(mask));
+  }
+  return qy::UInt128ToString(mask);
+}
+
+}  // namespace
+
+std::string GatherExpr(const std::string& table,
+                       const std::vector<int>& qubits) {
+  std::string s = table + ".s";
+  if (qy::IsContiguousAscending(qubits)) {
+    int q = qubits[0];
+    uint64_t mask = (uint64_t{1} << qubits.size()) - 1;
+    if (q == 0) return "(" + s + " & " + std::to_string(mask) + ")";
+    return "((" + s + " >> " + std::to_string(q) + ") & " +
+           std::to_string(mask) + ")";
+  }
+  // General gather: bit qubits[i] of s becomes bit i.
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < qubits.size(); ++i) {
+    std::string bit = "((" + s + " >> " + std::to_string(qubits[i]) + ") & 1)";
+    if (i > 0) bit = "(" + bit + " << " + std::to_string(i) + ")";
+    parts.push_back(bit);
+  }
+  if (parts.size() == 1) return parts[0];
+  std::string out = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    out = "(" + out + " | " + parts[i] + ")";
+  }
+  return out;
+}
+
+std::string ScatterExpr(const std::string& table,
+                        const std::string& gate_table,
+                        const std::vector<int>& qubits, bool use_hugeint) {
+  std::string s = table + ".s";
+  std::string out_s = gate_table + ".out_s";
+  if (use_hugeint) out_s = "CAST(" + out_s + " AS HUGEINT)";
+  qy::BasisIndex mask = qy::QubitMask(qubits);
+  std::string keep = "(" + s + " & ~" + MaskLiteral(mask) + ")";
+  std::string scatter;
+  if (qy::IsContiguousAscending(qubits)) {
+    int q = qubits[0];
+    scatter = q == 0 ? out_s : "(" + out_s + " << " + std::to_string(q) + ")";
+  } else {
+    std::vector<std::string> parts;
+    for (size_t i = 0; i < qubits.size(); ++i) {
+      std::string bit = i == 0 ? "(" + out_s + " & 1)"
+                               : "((" + out_s + " >> " + std::to_string(i) +
+                                     ") & 1)";
+      if (qubits[i] > 0) {
+        bit = "(" + bit + " << " + std::to_string(qubits[i]) + ")";
+      }
+      parts.push_back(bit);
+    }
+    scatter = parts[0];
+    for (size_t i = 1; i < parts.size(); ++i) {
+      scatter = "(" + scatter + " | " + parts[i] + ")";
+    }
+  }
+  return "(" + keep + " | " + scatter + ")";
+}
+
+Result<Translation> TranslateCircuit(const qc::QuantumCircuit& circuit,
+                                     const TranslateOptions& options) {
+  QY_RETURN_IF_ERROR(circuit.status());
+  Translation out;
+  out.num_qubits = circuit.num_qubits();
+  out.use_hugeint = options.use_hugeint;
+  if (circuit.num_qubits() > 126) {
+    return Status::InvalidArgument("at most 126 qubits supported");
+  }
+  if (!options.use_hugeint && circuit.num_qubits() > 62) {
+    return Status::InvalidArgument(
+        "more than 62 qubits requires use_hugeint (128-bit state indices)");
+  }
+
+  // Gate tables, deduplicated by table name.
+  std::map<std::string, size_t> gate_index;
+  std::vector<std::string> step_gate_tables;
+  for (const qc::Gate& gate : circuit.gates()) {
+    QY_ASSIGN_OR_RETURN(EncodedGate encoded, EncodeGate(gate));
+    auto [it, inserted] =
+        gate_index.try_emplace(encoded.table_name, out.gate_tables.size());
+    if (inserted) out.gate_tables.push_back(std::move(encoded));
+    step_gate_tables.push_back(out.gate_tables[it->second].table_name);
+  }
+
+  // Per-gate queries.
+  const std::string& prefix = options.state_prefix;
+  for (size_t k = 0; k < circuit.gates().size(); ++k) {
+    const qc::Gate& gate = circuit.gates()[k];
+    GateQuery step;
+    step.input_table = prefix + std::to_string(k);
+    step.output_table = prefix + std::to_string(k + 1);
+    step.gate_table = step_gate_tables[k];
+    const std::string& in = step.input_table;
+    const std::string& g = step.gate_table;
+    std::string out_expr = ScatterExpr(in, g, gate.qubits, options.use_hugeint);
+    std::string in_expr = GatherExpr(in, gate.qubits);
+    std::string sum_r = "SUM((" + in + ".r * " + g + ".r) - (" + in + ".i * " +
+                        g + ".i))";
+    std::string sum_i = "SUM((" + in + ".r * " + g + ".i) + (" + in + ".i * " +
+                        g + ".r))";
+    step.select_sql = "SELECT " + out_expr + " AS s, " + sum_r + " AS r, " +
+                      sum_i + " AS i FROM " + in + " JOIN " + g + " ON " + g +
+                      ".in_s = " + in_expr + " GROUP BY " + out_expr;
+    if (options.prune_epsilon > 0) {
+      double eps2 = options.prune_epsilon * options.prune_epsilon;
+      step.select_sql += " HAVING ((" + sum_r + " * " + sum_r + ") + (" +
+                         sum_i + " * " + sum_i + ")) > " +
+                         qy::DoubleToSql(eps2);
+    }
+    out.steps.push_back(std::move(step));
+  }
+
+  // Chained single query (Fig. 2c).
+  std::string final_table = prefix + std::to_string(circuit.gates().size());
+  if (out.steps.empty()) {
+    out.single_query = "SELECT s, r, i FROM " + prefix + "0";
+  } else {
+    std::vector<std::string> ctes;
+    for (const GateQuery& step : out.steps) {
+      ctes.push_back(step.output_table + " AS (" + step.select_sql + ")");
+    }
+    out.single_query = "WITH " + qy::StrJoin(ctes, ", ") + " SELECT s, r, i FROM " +
+                       final_table;
+  }
+  if (options.order_final) out.single_query += " ORDER BY s";
+  return out;
+}
+
+}  // namespace qy::core

@@ -1,0 +1,27 @@
+/// \file mps.h
+/// Matrix-product-state (tensor network) simulator — the paper's "MPS"
+/// backend (stand-in for Qiskit-Aer MPS / tensor-network engines).
+///
+/// The state is a chain of rank-3 tensors A[site](left_bond, physical,
+/// right_bond). Single-qubit gates contract locally; two-qubit gates on
+/// adjacent sites contract into a theta tensor that is re-split with an SVD,
+/// truncating singular values below mps_truncation_eps (relative). Non-
+/// adjacent gates are routed with SWAP chains; 3-qubit gates are first
+/// lowered by DecomposeToTwoQubit. Weakly-entangled circuits (GHZ: bond 2)
+/// stay tiny regardless of qubit count.
+#pragma once
+
+#include "sim/simulator.h"
+
+namespace qy::sim {
+
+class MpsSimulator : public Simulator {
+ public:
+  explicit MpsSimulator(SimOptions options = {}) : Simulator(options) {}
+
+  std::string name() const override { return "mps"; }
+
+  Result<SparseState> Run(const qc::QuantumCircuit& circuit) override;
+};
+
+}  // namespace qy::sim

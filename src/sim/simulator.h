@@ -1,0 +1,61 @@
+/// \file simulator.h
+/// Common interface for all simulation backends (paper Sec. 3.3 "Support for
+/// Multiple Methods"): the Qymera RDBMS backend and the four baselines
+/// (dense state-vector, sparse state-vector, MPS, decision diagram) all
+/// implement Simulator, so the benchmarking framework can sweep over them.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "circuit/circuit.h"
+#include "common/memory_tracker.h"
+#include "sim/state.h"
+
+namespace qy::sim {
+
+/// Backend-independent simulation options.
+struct SimOptions {
+  /// Memory cap for the backend's working set (the 2 GB knob of
+  /// experiment E3). kUnlimited disables the wall.
+  uint64_t memory_budget_bytes = MemoryTracker::kUnlimited;
+  /// Amplitudes with |a| <= prune_epsilon are dropped by sparse backends.
+  double prune_epsilon = 1e-12;
+  /// MPS: maximum bond dimension before truncation error becomes fatal.
+  int mps_max_bond = 4096;
+  /// MPS: singular values below this (relative) are truncated.
+  double mps_truncation_eps = 1e-12;
+};
+
+/// Per-run metrics every backend reports.
+struct SimMetrics {
+  double wall_seconds = 0;
+  uint64_t peak_bytes = 0;      ///< tracked working-set peak
+  uint64_t backend_stat = 0;    ///< backend-specific (bond dim, DD nodes, rows)
+  std::string backend_stat_name;
+};
+
+class Simulator {
+ public:
+  virtual ~Simulator() = default;
+
+  /// Stable backend identifier ("qymera-sql", "statevector", "sparse",
+  /// "mps", "dd").
+  virtual std::string name() const = 0;
+
+  /// Simulate the circuit from |0...0>, returning the final sparse state.
+  /// Fails with kOutOfMemory when the backend cannot fit its working set in
+  /// options().memory_budget_bytes.
+  virtual Result<SparseState> Run(const qc::QuantumCircuit& circuit) = 0;
+
+  const SimMetrics& metrics() const { return metrics_; }
+  const SimOptions& options() const { return options_; }
+
+ protected:
+  explicit Simulator(SimOptions options) : options_(options) {}
+
+  SimOptions options_;
+  SimMetrics metrics_;
+};
+
+}  // namespace qy::sim

@@ -1,0 +1,24 @@
+/// \file sparse_sim.h
+/// Sparse hash-map state-vector simulator.
+///
+/// The natural main-memory counterpart of Qymera's relational encoding: a
+/// hash map from basis index to amplitude, storing only nonzero entries.
+/// Unlike the dense backend its footprint scales with the number of nonzero
+/// amplitudes, but unlike the RDBMS it cannot spill to disk — when the map
+/// outgrows the budget the run fails (experiment E3/E9 contrast).
+#pragma once
+
+#include "sim/simulator.h"
+
+namespace qy::sim {
+
+class SparseSimulator : public Simulator {
+ public:
+  explicit SparseSimulator(SimOptions options = {}) : Simulator(options) {}
+
+  std::string name() const override { return "sparse"; }
+
+  Result<SparseState> Run(const qc::QuantumCircuit& circuit) override;
+};
+
+}  // namespace qy::sim

@@ -1,0 +1,153 @@
+#include "sim/state.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace qy::sim {
+
+void SparseState::SortAndCombine() {
+  std::sort(amplitudes_.begin(), amplitudes_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Combine duplicates (interference at construction).
+  size_t w = 0;
+  for (size_t r = 0; r < amplitudes_.size(); ++r) {
+    if (w > 0 && amplitudes_[w - 1].first == amplitudes_[r].first) {
+      amplitudes_[w - 1].second += amplitudes_[r].second;
+    } else {
+      amplitudes_[w++] = amplitudes_[r];
+    }
+  }
+  amplitudes_.resize(w);
+}
+
+Complex SparseState::Amplitude(BasisIndex idx) const {
+  auto it = std::lower_bound(
+      amplitudes_.begin(), amplitudes_.end(), idx,
+      [](const auto& entry, BasisIndex v) { return entry.first < v; });
+  if (it != amplitudes_.end() && it->first == idx) return it->second;
+  return Complex{0, 0};
+}
+
+double SparseState::NormSquared() const {
+  double acc = 0;
+  for (const auto& [idx, amp] : amplitudes_) acc += std::norm(amp);
+  return acc;
+}
+
+std::vector<std::pair<BasisIndex, double>> SparseState::Probabilities() const {
+  std::vector<std::pair<BasisIndex, double>> out;
+  out.reserve(amplitudes_.size());
+  for (const auto& [idx, amp] : amplitudes_) {
+    out.emplace_back(idx, std::norm(amp));
+  }
+  return out;
+}
+
+double SparseState::MarginalProbability(int qubit) const {
+  double p1 = 0;
+  for (const auto& [idx, amp] : amplitudes_) {
+    if (qy::GetBit(idx, qubit)) p1 += std::norm(amp);
+  }
+  return p1;
+}
+
+std::vector<std::pair<BasisIndex, int>> SparseState::Sample(qy::Rng* rng,
+                                                            int shots) const {
+  // Inverse-CDF sampling over the (normalized) probability masses.
+  std::vector<double> cdf;
+  cdf.reserve(amplitudes_.size());
+  double acc = 0;
+  for (const auto& [idx, amp] : amplitudes_) {
+    acc += std::norm(amp);
+    cdf.push_back(acc);
+  }
+  std::vector<int> counts(amplitudes_.size(), 0);
+  for (int shot = 0; shot < shots && acc > 0; ++shot) {
+    double u = rng->UniformDouble() * acc;
+    size_t lo = std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin();
+    if (lo >= counts.size()) lo = counts.size() - 1;
+    ++counts[lo];
+  }
+  std::vector<std::pair<BasisIndex, int>> out;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > 0) out.emplace_back(amplitudes_[i].first, counts[i]);
+  }
+  return out;
+}
+
+void SparseState::Prune(double eps) {
+  double cut = eps * eps;
+  amplitudes_.erase(
+      std::remove_if(amplitudes_.begin(), amplitudes_.end(),
+                     [&](const auto& e) { return std::norm(e.second) <= cut; }),
+      amplitudes_.end());
+}
+
+double SparseState::MaxAmplitudeDiff(const SparseState& a,
+                                     const SparseState& b) {
+  double max_diff = 0;
+  size_t i = 0, j = 0;
+  const auto& av = a.amplitudes_;
+  const auto& bv = b.amplitudes_;
+  while (i < av.size() || j < bv.size()) {
+    if (j >= bv.size() || (i < av.size() && av[i].first < bv[j].first)) {
+      max_diff = std::max(max_diff, std::abs(av[i].second));
+      ++i;
+    } else if (i >= av.size() || bv[j].first < av[i].first) {
+      max_diff = std::max(max_diff, std::abs(bv[j].second));
+      ++j;
+    } else {
+      max_diff = std::max(max_diff, std::abs(av[i].second - bv[j].second));
+      ++i;
+      ++j;
+    }
+  }
+  return max_diff;
+}
+
+double SparseState::FidelityOverlap(const SparseState& a,
+                                    const SparseState& b) {
+  Complex acc{0, 0};
+  size_t i = 0, j = 0;
+  const auto& av = a.amplitudes_;
+  const auto& bv = b.amplitudes_;
+  while (i < av.size() && j < bv.size()) {
+    if (av[i].first < bv[j].first) {
+      ++i;
+    } else if (bv[j].first < av[i].first) {
+      ++j;
+    } else {
+      acc += std::conj(av[i].second) * bv[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return std::abs(acc);
+}
+
+std::string KetString(BasisIndex idx, int num_qubits) {
+  std::string bits(static_cast<size_t>(num_qubits), '0');
+  for (int q = 0; q < num_qubits; ++q) {
+    if (qy::GetBit(idx, q)) bits[num_qubits - 1 - q] = '1';
+  }
+  return "|" + bits + ">";
+}
+
+std::string SparseState::ToString(size_t max_terms) const {
+  if (amplitudes_.empty()) return "0";
+  std::vector<std::string> terms;
+  for (size_t i = 0; i < amplitudes_.size() && i < max_terms; ++i) {
+    const auto& [idx, amp] = amplitudes_[i];
+    terms.push_back(qy::StrFormat("(%.4f%+.4fi)", amp.real(), amp.imag()) +
+                    KetString(idx, num_qubits_));
+  }
+  std::string out = qy::StrJoin(terms, " + ");
+  if (amplitudes_.size() > max_terms) {
+    out += " + ... (" + std::to_string(amplitudes_.size()) + " terms)";
+  }
+  return out;
+}
+
+}  // namespace qy::sim

@@ -1,0 +1,83 @@
+/// \file state.h
+/// Sparse quantum state representation shared by all simulator backends.
+///
+/// This is the in-memory twin of the paper's relation T(s, r, i): only
+/// nonzero basis states are stored, with a 128-bit integer index (up to 126
+/// qubits) and a complex amplitude.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace qy::sim {
+
+using Complex = std::complex<double>;
+using qy::BasisIndex;
+
+/// Sparse state: amplitudes sorted ascending by basis index.
+class SparseState {
+ public:
+  SparseState() = default;
+  SparseState(int num_qubits,
+              std::vector<std::pair<BasisIndex, Complex>> amplitudes)
+      : num_qubits_(num_qubits), amplitudes_(std::move(amplitudes)) {
+    SortAndCombine();
+  }
+
+  /// |0...0> on n qubits.
+  static SparseState ZeroState(int num_qubits) {
+    return SparseState(num_qubits, {{BasisIndex{0}, Complex{1, 0}}});
+  }
+
+  int num_qubits() const { return num_qubits_; }
+  size_t NumNonZero() const { return amplitudes_.size(); }
+  const std::vector<std::pair<BasisIndex, Complex>>& amplitudes() const {
+    return amplitudes_;
+  }
+
+  /// Amplitude of basis state `idx` (0 when absent). O(log nnz).
+  Complex Amplitude(BasisIndex idx) const;
+
+  /// sum |a|^2 (1.0 for normalized states).
+  double NormSquared() const;
+
+  /// Measurement probabilities per stored basis state.
+  std::vector<std::pair<BasisIndex, double>> Probabilities() const;
+
+  /// Probability that qubit q measures 1.
+  double MarginalProbability(int qubit) const;
+
+  /// Draw `shots` full-register measurement outcomes (multinomial over the
+  /// stored probabilities, normalized). Returns (basis index, count) pairs
+  /// for the outcomes that occurred, sorted by index.
+  std::vector<std::pair<BasisIndex, int>> Sample(qy::Rng* rng,
+                                                 int shots) const;
+
+  /// Drop entries with |a|^2 <= eps^2.
+  void Prune(double eps);
+
+  /// max_j |a_j - b_j| over the union of supports (exact comparison; both
+  /// states must share the same global phase convention).
+  static double MaxAmplitudeDiff(const SparseState& a, const SparseState& b);
+
+  /// |<a|b>|: 1.0 for physically identical states regardless of global phase.
+  static double FidelityOverlap(const SparseState& a, const SparseState& b);
+
+  /// Render "|psi> = (0.707+0.000i)|000> + ..." (up to max_terms).
+  std::string ToString(size_t max_terms = 16) const;
+
+ private:
+  void SortAndCombine();
+
+  int num_qubits_ = 0;
+  std::vector<std::pair<BasisIndex, Complex>> amplitudes_;
+};
+
+/// Format a basis index as a |bitstring> ket (qubit 0 rightmost).
+std::string KetString(BasisIndex idx, int num_qubits);
+
+}  // namespace qy::sim

@@ -1,0 +1,28 @@
+/// \file statevector.h
+/// Dense state-vector simulator (the conventional method of the paper's
+/// comparison; stands in for Qiskit-Aer / cuQuantum statevector).
+///
+/// Keeps all 2^n complex amplitudes in memory — 16 * 2^n bytes — and applies
+/// each gate with bit-strided updates. Under a 2 GB budget the backend
+/// refuses circuits beyond 27 qubits: that is the memory wall that sparse
+/// RDBMS simulation walks through in experiment E3.
+#pragma once
+
+#include "sim/simulator.h"
+
+namespace qy::sim {
+
+class StatevectorSimulator : public Simulator {
+ public:
+  explicit StatevectorSimulator(SimOptions options = {})
+      : Simulator(options) {}
+
+  std::string name() const override { return "statevector"; }
+
+  Result<SparseState> Run(const qc::QuantumCircuit& circuit) override;
+
+  /// Largest width that fits the budget: max n with 16 * 2^n <= budget.
+  static int MaxQubitsForBudget(uint64_t budget_bytes);
+};
+
+}  // namespace qy::sim

@@ -1,0 +1,143 @@
+#include "sim/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace qy::sim {
+
+namespace {
+using Complex = std::complex<double>;
+
+/// One-sided Jacobi on the columns of column-major `a` (m x n), accumulating
+/// the right rotations into column-major `v` (n x n).
+void JacobiSweeps(std::vector<Complex>& a, std::vector<Complex>& v, int m,
+                  int n, double tol) {
+  const int max_sweeps = 64;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        Complex* cp = &a[static_cast<size_t>(p) * m];
+        Complex* cq = &a[static_cast<size_t>(q) * m];
+        double app = 0, aqq = 0;
+        Complex apq{0, 0};
+        for (int i = 0; i < m; ++i) {
+          app += std::norm(cp[i]);
+          aqq += std::norm(cq[i]);
+          apq += std::conj(cp[i]) * cq[i];
+        }
+        double beta = std::abs(apq);
+        if (beta <= tol * std::sqrt(app * aqq) || beta == 0.0) continue;
+        rotated = true;
+        Complex phase = apq / beta;  // e^{i alpha}
+        double tau = (aqq - app) / (2 * beta);
+        double t = (tau >= 0 ? 1.0 : -1.0) /
+                   (std::abs(tau) + std::sqrt(1 + tau * tau));
+        double c = 1 / std::sqrt(1 + t * t);
+        double s = c * t;
+        // a_p' = c a_p - s conj(phase) a_q ; a_q' = s phase a_p + c a_q
+        Complex sp = s * std::conj(phase);
+        Complex sq = s * phase;
+        for (int i = 0; i < m; ++i) {
+          Complex ap = cp[i], aq = cq[i];
+          cp[i] = c * ap - sp * aq;
+          cq[i] = sq * ap + c * aq;
+        }
+        Complex* vp = &v[static_cast<size_t>(p) * n];
+        Complex* vq = &v[static_cast<size_t>(q) * n];
+        for (int i = 0; i < n; ++i) {
+          Complex xp = vp[i], xq = vq[i];
+          vp[i] = c * xp - sp * xq;
+          vq[i] = sq * xp + c * xq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+}
+
+}  // namespace
+
+Result<SvdResult> JacobiSvd(const std::vector<Complex>& a_row_major, int m,
+                            int n, double tol) {
+  if (m <= 0 || n <= 0 ||
+      a_row_major.size() != static_cast<size_t>(m) * static_cast<size_t>(n)) {
+    return Status::InvalidArgument("JacobiSvd: bad dimensions");
+  }
+  // Work on the taller orientation so columns >= rows never happens badly;
+  // one-sided Jacobi wants m >= n for efficiency, but is correct either way.
+  bool transposed = m < n;
+  int wm = transposed ? n : m;
+  int wn = transposed ? m : n;
+  // Column-major working copy (of A or A^H).
+  std::vector<Complex> work(static_cast<size_t>(wm) * wn);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      Complex val = a_row_major[static_cast<size_t>(i) * n + j];
+      if (transposed) {
+        // work = A^H: entry (j, i) = conj(val)
+        work[static_cast<size_t>(i) * wm + j] = std::conj(val);
+      } else {
+        work[static_cast<size_t>(j) * wm + i] = val;
+      }
+    }
+  }
+  std::vector<Complex> vmat(static_cast<size_t>(wn) * wn, Complex{0, 0});
+  for (int i = 0; i < wn; ++i) vmat[static_cast<size_t>(i) * wn + i] = 1.0;
+  JacobiSweeps(work, vmat, wm, wn, tol);
+
+  int r = wn;
+  std::vector<double> sigma(r);
+  for (int j = 0; j < r; ++j) {
+    double norm2 = 0;
+    for (int i = 0; i < wm; ++i) {
+      norm2 += std::norm(work[static_cast<size_t>(j) * wm + i]);
+    }
+    sigma[j] = std::sqrt(norm2);
+  }
+  // Descending order.
+  std::vector<int> perm(r);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(),
+            [&](int x, int y) { return sigma[x] > sigma[y]; });
+
+  SvdResult out;
+  out.m = m;
+  out.n = n;
+  out.r = std::min(m, n);
+  out.u.assign(static_cast<size_t>(m) * out.r, Complex{0, 0});
+  out.v.assign(static_cast<size_t>(n) * out.r, Complex{0, 0});
+  out.s.assign(out.r, 0.0);
+  for (int k = 0; k < out.r; ++k) {
+    int j = perm[k];
+    out.s[k] = sigma[j];
+    // Left vectors of the working problem = normalized columns.
+    std::vector<Complex> ucol(wm, Complex{0, 0});
+    if (sigma[j] > 0) {
+      for (int i = 0; i < wm; ++i) {
+        ucol[i] = work[static_cast<size_t>(j) * wm + i] / sigma[j];
+      }
+    }
+    if (!transposed) {
+      // U = working left vectors; V = accumulated rotations.
+      for (int i = 0; i < m; ++i) out.u[i + static_cast<size_t>(k) * m] = ucol[i];
+      for (int i = 0; i < n; ++i) {
+        out.v[i + static_cast<size_t>(k) * n] =
+            vmat[static_cast<size_t>(j) * wn + i];
+      }
+    } else {
+      // A^H = U' S V'^H  =>  A = V' S U'^H: swap roles, conjugating.
+      for (int i = 0; i < m; ++i) {
+        out.u[i + static_cast<size_t>(k) * m] =
+            vmat[static_cast<size_t>(j) * wn + i];
+      }
+      for (int i = 0; i < n; ++i) {
+        out.v[i + static_cast<size_t>(k) * n] = ucol[i];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qy::sim

@@ -1,0 +1,30 @@
+/// \file svd.h
+/// Complex singular value decomposition via one-sided Jacobi.
+///
+/// Needed by the MPS backend for bond truncation. One-sided Jacobi is chosen
+/// for its simplicity and excellent numerical orthogonality on the small
+/// (bond*2 x 2*bond) matrices MPS produces.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qy::sim {
+
+/// Thin SVD result: A (m x n) = U (m x r) * diag(S) * V^H (r x n),
+/// r = min(m, n), singular values descending.
+struct SvdResult {
+  int m = 0, n = 0, r = 0;
+  std::vector<std::complex<double>> u;  ///< column-major m x r: u[i + j*m]
+  std::vector<double> s;                ///< r singular values, descending
+  std::vector<std::complex<double>> v;  ///< column-major n x r: v[i + j*n]
+};
+
+/// Compute the thin SVD of a row-major m x n matrix `a` (a[i*n + j]).
+/// `tol` controls Jacobi convergence (relative off-diagonal threshold).
+Result<SvdResult> JacobiSvd(const std::vector<std::complex<double>>& a, int m,
+                            int n, double tol = 1e-14);
+
+}  // namespace qy::sim

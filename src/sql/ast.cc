@@ -1,0 +1,158 @@
+#include "sql/ast.h"
+
+#include <functional>
+
+#include "common/strings.h"
+
+namespace qy::sql {
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeUnary(std::string op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->op = std::move(op);
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = std::move(op);
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->op = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kStar:
+      return table.empty() ? "*" : table + ".*";
+    case ExprKind::kUnary:
+      if (EqualsIgnoreCase(op, "NOT")) {
+        return "(NOT " + children[0]->ToString() + ")";
+      }
+      return "(" + op + children[0]->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + op + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kFunction: {
+      std::vector<std::string> args;
+      args.reserve(children.size());
+      for (const auto& c : children) args.push_back(c->ToString());
+      return AsciiToUpper(op) + "(" + StrJoin(args, ", ") + ")";
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      size_t pairs = (children.size() - (case_has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        out += " WHEN " + children[2 * i]->ToString() + " THEN " +
+               children[2 * i + 1]->ToString();
+      }
+      if (case_has_else) out += " ELSE " + children.back()->ToString();
+      return out + " END";
+    }
+    case ExprKind::kCast:
+      return "CAST(" + children[0]->ToString() + " AS " +
+             DataTypeName(cast_type) + ")";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->table = table;
+  e->column = column;
+  e->op = op;
+  e->case_has_else = case_has_else;
+  e->cast_type = cast_type;
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out;
+  if (!ctes.empty()) {
+    std::vector<std::string> parts;
+    for (const auto& cte : ctes) {
+      parts.push_back(cte.name + " AS (" + cte.select->ToString() + ")");
+    }
+    out += "WITH " + StrJoin(parts, ", ") + " ";
+  }
+  out += "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  std::vector<std::string> cols;
+  for (const auto& item : items) {
+    std::string s = item.expr->ToString();
+    if (!item.alias.empty()) s += " AS " + item.alias;
+    cols.push_back(std::move(s));
+  }
+  out += StrJoin(cols, ", ");
+  if (from) {
+    std::function<std::string(const TableRef&)> render =
+        [&](const TableRef& tr) -> std::string {
+      switch (tr.kind) {
+        case TableRef::Kind::kBase:
+          return tr.alias.empty() || EqualsIgnoreCase(tr.alias, tr.table_name)
+                     ? tr.table_name
+                     : tr.table_name + " AS " + tr.alias;
+        case TableRef::Kind::kJoin: {
+          std::string s = render(*tr.left) + " JOIN " + render(*tr.right);
+          if (tr.join_condition) s += " ON " + tr.join_condition->ToString();
+          return s;
+        }
+        case TableRef::Kind::kSubquery:
+          return "(" + tr.subquery->ToString() + ") AS " + tr.alias;
+      }
+      return "?";
+    };
+    out += " FROM " + render(*from);
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    std::vector<std::string> keys;
+    for (const auto& g : group_by) keys.push_back(g->ToString());
+    out += " GROUP BY " + StrJoin(keys, ", ");
+  }
+  if (having) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    std::vector<std::string> keys;
+    for (const auto& o : order_by) {
+      keys.push_back(o.expr->ToString() + (o.ascending ? "" : " DESC"));
+    }
+    out += " ORDER BY " + StrJoin(keys, ", ");
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+}  // namespace qy::sql

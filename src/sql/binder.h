@@ -1,0 +1,25 @@
+/// \file binder.h
+/// Name/type resolution: AST -> physical plan.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/plan.h"
+
+namespace qy::sql {
+
+/// Tables visible to the binder beyond the catalog (CTE results, registered
+/// by the executor before binding the dependent SELECT).
+using CteScope = std::map<std::string, Table*>;  // lowercased names
+
+/// Bind a (CTE-free) SELECT against catalog + scope, producing an executable
+/// plan. The statement's own `ctes` must already have been materialized into
+/// `scope` by the caller.
+Result<PlanNodePtr> BindSelect(const SelectStmt& select, const Catalog& catalog,
+                               const CteScope& scope);
+
+}  // namespace qy::sql

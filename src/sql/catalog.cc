@@ -1,0 +1,52 @@
+#include "sql/catalog.h"
+
+#include "common/strings.h"
+
+namespace qy::sql {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
+                                    bool or_replace) {
+  std::string key = AsciiToLower(name);
+  auto it = tables_.find(key);
+  if (it != tables_.end()) {
+    if (!or_replace) {
+      return Status::AlreadyExists("table already exists: " + name);
+    }
+    tables_.erase(it);
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema), tracker_);
+  Table* ptr = table.get();
+  tables_[key] = std::move(table);
+  return ptr;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(AsciiToLower(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name, bool if_exists) {
+  auto it = tables_.find(AsciiToLower(name));
+  if (it == tables_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound("table not found: " + name);
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [k, t] : tables_) names.push_back(t->name());
+  return names;
+}
+
+}  // namespace qy::sql

@@ -1,0 +1,39 @@
+/// \file catalog.h
+/// Named-table catalog (case-insensitive names).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/table.h"
+
+namespace qy::sql {
+
+class Catalog {
+ public:
+  explicit Catalog(MemoryTracker* tracker) : tracker_(tracker) {}
+
+  /// Create an empty table. Fails with kAlreadyExists on name clash unless
+  /// `or_replace`.
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             bool or_replace = false);
+
+  /// Lookup; kNotFound when absent.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name, bool if_exists = false);
+
+  std::vector<std::string> TableNames() const;
+
+  MemoryTracker* tracker() const { return tracker_; }
+
+ private:
+  MemoryTracker* tracker_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // lowercased keys
+};
+
+}  // namespace qy::sql

@@ -1,0 +1,179 @@
+#include "sql/column_vector.h"
+
+namespace qy::sql {
+
+void ColumnVector::Clear() {
+  size_ = 0;
+  validity_.clear();
+  bools_.clear();
+  i64_.clear();
+  i128_.clear();
+  f64_.clear();
+  str_.clear();
+  str_bytes_ = 0;
+}
+
+void ColumnVector::Reserve(size_t n) {
+  switch (type_) {
+    case DataType::kBool: bools_.reserve(n); break;
+    case DataType::kBigInt: i64_.reserve(n); break;
+    case DataType::kHugeInt: i128_.reserve(n); break;
+    case DataType::kDouble: f64_.reserve(n); break;
+    case DataType::kVarchar: str_.reserve(n); break;
+  }
+}
+
+void ColumnVector::MaterializeValidity() {
+  if (validity_.empty()) validity_.assign(size_, 1);
+}
+
+void ColumnVector::AppendNull() {
+  MaterializeValidity();
+  validity_.push_back(0);
+  switch (type_) {
+    case DataType::kBool: bools_.push_back(0); break;
+    case DataType::kBigInt: i64_.push_back(0); break;
+    case DataType::kHugeInt: i128_.push_back(0); break;
+    case DataType::kDouble: f64_.push_back(0.0); break;
+    case DataType::kVarchar: str_.emplace_back(); break;
+  }
+  ++size_;
+}
+
+Status ColumnVector::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  if (v.type() != type_) {
+    QY_ASSIGN_OR_RETURN(Value cast, v.CastTo(type_));
+    return AppendValue(cast);
+  }
+  switch (type_) {
+    case DataType::kBool: AppendBool(v.bool_value()); break;
+    case DataType::kBigInt: AppendBigInt(v.bigint_value()); break;
+    case DataType::kHugeInt: AppendHugeInt(v.hugeint_value()); break;
+    case DataType::kDouble: AppendDouble(v.double_value()); break;
+    case DataType::kVarchar: AppendVarchar(v.varchar_value()); break;
+  }
+  return Status::OK();
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& other, size_t row) {
+  if (other.IsNull(row)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kBool: AppendBool(other.bools_[row] != 0); break;
+    case DataType::kBigInt: AppendBigInt(other.i64_[row]); break;
+    case DataType::kHugeInt: AppendHugeInt(other.i128_[row]); break;
+    case DataType::kDouble: AppendDouble(other.f64_[row]); break;
+    case DataType::kVarchar: AppendVarchar(other.str_[row]); break;
+  }
+}
+
+bool ColumnVector::AnyNull() const {
+  for (uint8_t v : validity_) {
+    if (v == 0) return true;
+  }
+  return false;
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null(type_);
+  switch (type_) {
+    case DataType::kBool: return Value::Bool(bools_[i] != 0);
+    case DataType::kBigInt: return Value::BigInt(i64_[i]);
+    case DataType::kHugeInt: return Value::HugeInt(i128_[i]);
+    case DataType::kDouble: return Value::Double(f64_[i]);
+    case DataType::kVarchar: return Value::Varchar(str_[i]);
+  }
+  return Value::Null(type_);
+}
+
+void ColumnVector::SetSizeFromData() {
+  switch (type_) {
+    case DataType::kBool: size_ = bools_.size(); break;
+    case DataType::kBigInt: size_ = i64_.size(); break;
+    case DataType::kHugeInt: size_ = i128_.size(); break;
+    case DataType::kDouble: size_ = f64_.size(); break;
+    case DataType::kVarchar:
+      size_ = str_.size();
+      str_bytes_ = 0;
+      for (const auto& s : str_) str_bytes_ += s.size();
+      break;
+  }
+  if (!validity_.empty()) validity_.resize(size_, 1);
+}
+
+void ColumnVector::SetNull(size_t i) {
+  MaterializeValidity();
+  validity_[i] = 0;
+}
+
+uint64_t ColumnVector::ApproxBytes() const {
+  uint64_t fixed = static_cast<uint64_t>(size_) * TypeWidthBytes(type_);
+  return fixed + str_bytes_ + validity_.size();
+}
+
+namespace {
+
+/// Row-at-a-time fallback cast via Value::CastTo.
+Result<ColumnVector> GenericCast(const ColumnVector& in, DataType target) {
+  ColumnVector out(target);
+  out.Reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in.IsNull(i)) {
+      out.AppendNull();
+      continue;
+    }
+    QY_ASSIGN_OR_RETURN(Value v, in.GetValue(i).CastTo(target));
+    QY_RETURN_IF_ERROR(out.AppendValue(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ColumnVector> ColumnVector::CastTo(DataType target) const {
+  if (target == type_) return *this;
+  ColumnVector out(target);
+  // Fast numeric widening loops.
+  if (target == DataType::kDouble &&
+      (type_ == DataType::kBool || type_ == DataType::kBigInt ||
+       type_ == DataType::kHugeInt)) {
+    auto& dst = out.mutable_f64_data();
+    dst.resize(size_);
+    switch (type_) {
+      case DataType::kBool:
+        for (size_t i = 0; i < size_; ++i) dst[i] = bools_[i] ? 1.0 : 0.0;
+        break;
+      case DataType::kBigInt:
+        for (size_t i = 0; i < size_; ++i) dst[i] = static_cast<double>(i64_[i]);
+        break;
+      default:
+        for (size_t i = 0; i < size_; ++i) dst[i] = static_cast<double>(i128_[i]);
+        break;
+    }
+    out.validity_ = validity_;
+    out.SetSizeFromData();
+    return out;
+  }
+  if (target == DataType::kHugeInt &&
+      (type_ == DataType::kBool || type_ == DataType::kBigInt)) {
+    auto& dst = out.mutable_i128_data();
+    dst.resize(size_);
+    if (type_ == DataType::kBool) {
+      for (size_t i = 0; i < size_; ++i) dst[i] = bools_[i] ? 1 : 0;
+    } else {
+      for (size_t i = 0; i < size_; ++i) dst[i] = static_cast<int128_t>(i64_[i]);
+    }
+    out.validity_ = validity_;
+    out.SetSizeFromData();
+    return out;
+  }
+  return GenericCast(*this, target);
+}
+
+}  // namespace qy::sql

@@ -1,0 +1,75 @@
+/// \file database.h
+/// relsql public entry point: a single-process, in-memory (with disk spill)
+/// relational database executing the SQL dialect Qymera generates.
+///
+/// Example:
+/// \code
+///   qy::sql::Database db;
+///   db.Execute("CREATE TABLE T0 (s BIGINT, r DOUBLE, i DOUBLE)");
+///   db.Execute("INSERT INTO T0 VALUES (0, 1.0, 0.0)");
+///   auto result = db.Execute("SELECT s, r, i FROM T0 ORDER BY s");
+/// \endcode
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/memory_tracker.h"
+#include "common/temp_file.h"
+#include "sql/binder.h"
+#include "sql/catalog.h"
+#include "sql/parser.h"
+#include "sql/query_result.h"
+
+namespace qy::sql {
+
+struct DatabaseOptions {
+  /// Hard budget for all tracked memory (tables, hash tables, sorts).
+  uint64_t memory_budget_bytes = MemoryTracker::kUnlimited;
+  /// Allow hash aggregation to spill partitions to disk when over budget.
+  bool enable_spill = true;
+  /// Vector size of the execution engine.
+  size_t chunk_size = 2048;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Execute one SQL statement (SELECT/CREATE [AS]/INSERT/DROP/EXPLAIN).
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Execute a ';'-separated script, discarding SELECT outputs.
+  Status ExecuteScript(const std::string& sql);
+
+  /// Plan a SELECT and return its EXPLAIN rendering.
+  Result<std::string> Explain(const std::string& sql);
+
+  Catalog& catalog() { return catalog_; }
+  MemoryTracker& tracker() { return tracker_; }
+  TempFileManager& temp_files() { return temp_files_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Total rows spilled to disk by queries so far.
+  uint64_t total_rows_spilled() const { return total_rows_spilled_; }
+
+ private:
+  Result<QueryResult> ExecuteStatement(const Statement& stmt);
+  Result<QueryResult> RunSelect(const SelectStmt& select);
+  /// Materialize a SELECT (with nested CTEs) into a fresh anonymous table.
+  Result<std::unique_ptr<Table>> SelectToTable(
+      const SelectStmt& select, CteScope scope,
+      std::vector<std::unique_ptr<Table>>* temps, ExecStats* stats);
+
+  DatabaseOptions options_;
+  MemoryTracker tracker_;
+  TempFileManager temp_files_;
+  Catalog catalog_;
+  uint64_t total_rows_spilled_ = 0;
+};
+
+}  // namespace qy::sql

@@ -1,0 +1,625 @@
+/// \file exec_agg.cc
+/// Hash aggregation with partitioned disk spill.
+///
+/// In-memory operation keeps one hash-table entry per group. Under memory
+/// pressure (MemoryTracker budget), all partial states are flushed to 16
+/// hash partitions on disk and the table is cleared; this repeats as needed.
+/// Finalization merges each partition independently (partial aggregate
+/// states are algebraic: SUM/COUNT/MIN/MAX combine, AVG = sum+count),
+/// recursing with deeper hash bits when a single partition still exceeds the
+/// budget. This mirrors classic Grace/hybrid hash aggregation and is the
+/// mechanism behind Qymera's out-of-core simulation (paper Sec. 3.3).
+#include <unordered_map>
+
+#include "sql/executor.h"
+#include "sql/spill.h"
+
+namespace qy::sql {
+
+namespace {
+
+constexpr int kNumPartitions = 16;
+constexpr int kMaxDepth = 4;
+
+struct IntKey {
+  int128_t v;
+  bool null = false;
+  bool operator==(const IntKey& o) const { return null == o.null && v == o.v; }
+};
+struct IntKeyHash {
+  size_t operator()(const IntKey& k) const {
+    return k.null ? 0x1234567 : HashUInt128(static_cast<uint128_t>(k.v));
+  }
+};
+
+uint64_t HashBytes(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Partial aggregate state for one (group, agg) pair.
+struct Accum {
+  double f64 = 0;
+  int128_t i128 = 0;
+  int64_t count = 0;
+  Value minmax;
+  bool has = false;
+};
+
+/// An in-memory group table: hash map + key storage + accumulator arrays.
+class GroupTable {
+ public:
+  GroupTable(const PlanNode& plan) : plan_(plan) {
+    for (const auto& k : plan.group_keys) {
+      key_store_.columns.emplace_back(k->type);
+    }
+    accums_.resize(plan.aggs.size());
+    fast_ = plan.group_keys.size() == 1 &&
+            IsInteger(plan.group_keys[0]->type);
+  }
+
+  size_t NumGroups() const {
+    return plan_.group_keys.empty()
+               ? (scalar_group_init_ ? 1 : 0)
+               : key_store_.NumRows();
+  }
+
+  /// Coarse memory estimate: key bytes + accumulator arrays + map overhead.
+  uint64_t ApproxBytes() const {
+    uint64_t groups = NumGroups();
+    return key_store_.ApproxBytes() +
+           groups * (plan_.aggs.size() * sizeof(Accum) + 48);
+  }
+
+  /// Ensure the scalar (no GROUP BY) group exists.
+  void EnsureScalarGroup() {
+    if (!plan_.group_keys.empty() || scalar_group_init_) return;
+    scalar_group_init_ = true;
+    for (auto& a : accums_) a.emplace_back();
+  }
+
+  /// Find or create the group for row `r` of the evaluated key columns.
+  uint32_t GroupIndex(const std::vector<ColumnVector>& keys, size_t r) {
+    if (plan_.group_keys.empty()) {
+      EnsureScalarGroup();
+      return 0;
+    }
+    if (fast_) {
+      const ColumnVector& kc = keys[0];
+      IntKey key{kc.IsNull(r) ? 0
+                 : kc.type() == DataType::kBigInt
+                     ? static_cast<int128_t>(kc.i64_data()[r])
+                     : kc.i128_data()[r],
+                 kc.IsNull(r)};
+      auto [it, inserted] = fast_map_.try_emplace(
+          key, static_cast<uint32_t>(key_store_.NumRows()));
+      if (inserted) AppendGroup(keys, r);
+      return it->second;
+    }
+    std::string key;
+    for (const auto& kc : keys) SerializeValue(kc, r, &key);
+    auto [it, inserted] = generic_map_.try_emplace(
+        std::move(key), static_cast<uint32_t>(key_store_.NumRows()));
+    if (inserted) AppendGroup(keys, r);
+    return it->second;
+  }
+
+  /// Update one accumulator from one input value.
+  void Update(size_t agg, uint32_t group, const ColumnVector* arg, size_t r) {
+    Accum& a = accums_[agg][group];
+    const BoundAggSpec& spec = plan_.aggs[agg];
+    if (spec.func == AggFunc::kCountStar) {
+      ++a.count;
+      return;
+    }
+    if (arg->IsNull(r)) return;
+    switch (spec.func) {
+      case AggFunc::kCount:
+        ++a.count;
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (spec.arg->type == DataType::kDouble) {
+          a.f64 += arg->f64_data()[r];
+        } else if (spec.arg->type == DataType::kBigInt) {
+          a.i128 += arg->i64_data()[r];
+          a.f64 += static_cast<double>(arg->i64_data()[r]);
+        } else if (spec.arg->type == DataType::kHugeInt) {
+          a.i128 += arg->i128_data()[r];
+          a.f64 += static_cast<double>(arg->i128_data()[r]);
+        } else if (spec.arg->type == DataType::kBool) {
+          int64_t v = arg->bool_data()[r] ? 1 : 0;
+          a.i128 += v;
+          a.f64 += static_cast<double>(v);
+        }
+        ++a.count;
+        a.has = true;
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        Value v = arg->GetValue(r);
+        if (!a.has) {
+          a.minmax = v;
+          a.has = true;
+        } else {
+          int c = v.Compare(a.minmax);
+          if ((spec.func == AggFunc::kMin && c < 0) ||
+              (spec.func == AggFunc::kMax && c > 0)) {
+            a.minmax = v;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  /// Merge a serialized partial state into this table.
+  Status MergeRecord(const std::string& record) {
+    ByteReader reader(record.data(), record.size());
+    // Keys.
+    std::vector<Value> key_values(plan_.group_keys.size());
+    for (size_t k = 0; k < plan_.group_keys.size(); ++k) {
+      QY_RETURN_IF_ERROR(
+          reader.ReadValue(plan_.group_keys[k]->type, &key_values[k]));
+    }
+    uint32_t group = GroupIndexFromValues(key_values);
+    for (size_t agg = 0; agg < plan_.aggs.size(); ++agg) {
+      Accum incoming;
+      uint8_t has;
+      QY_RETURN_IF_ERROR(reader.ReadBytes(&has, 1));
+      incoming.has = has != 0;
+      QY_RETURN_IF_ERROR(reader.ReadBytes(&incoming.f64, sizeof(double)));
+      QY_RETURN_IF_ERROR(reader.ReadBytes(&incoming.i128, sizeof(int128_t)));
+      QY_RETURN_IF_ERROR(reader.ReadBytes(&incoming.count, sizeof(int64_t)));
+      const BoundAggSpec& spec = plan_.aggs[agg];
+      if (spec.func == AggFunc::kMin || spec.func == AggFunc::kMax) {
+        QY_RETURN_IF_ERROR(
+            reader.ReadValue(spec.result_type, &incoming.minmax));
+      }
+      Accum& a = accums_[agg][group];
+      a.f64 += incoming.f64;
+      a.i128 += incoming.i128;
+      a.count += incoming.count;
+      if (incoming.has) {
+        if ((spec.func == AggFunc::kMin || spec.func == AggFunc::kMax) &&
+            a.has) {
+          int c = incoming.minmax.Compare(a.minmax);
+          if ((spec.func == AggFunc::kMin && c < 0) ||
+              (spec.func == AggFunc::kMax && c > 0)) {
+            a.minmax = incoming.minmax;
+          }
+        } else if (!a.has) {
+          a.minmax = incoming.minmax;
+        }
+        a.has = true;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Serialize group `g` (keys + all partial states).
+  void SerializeGroup(uint32_t g, std::string* buf) const {
+    for (const auto& col : key_store_.columns) {
+      SerializeValue(col, g, buf);
+    }
+    for (size_t agg = 0; agg < plan_.aggs.size(); ++agg) {
+      const Accum& a = accums_[agg][g];
+      buf->push_back(a.has ? 1 : 0);
+      buf->append(reinterpret_cast<const char*>(&a.f64), sizeof(double));
+      buf->append(reinterpret_cast<const char*>(&a.i128), sizeof(int128_t));
+      buf->append(reinterpret_cast<const char*>(&a.count), sizeof(int64_t));
+      const BoundAggSpec& spec = plan_.aggs[agg];
+      if (spec.func == AggFunc::kMin || spec.func == AggFunc::kMax) {
+        SerializeRawValue(a.minmax, buf);
+      }
+    }
+  }
+
+  /// Hash of group g's key (for partitioning).
+  uint64_t GroupHash(uint32_t g) const {
+    if (plan_.group_keys.empty()) return 0;
+    if (fast_) {
+      const ColumnVector& kc = key_store_.columns[0];
+      if (kc.IsNull(g)) return 0x1234567;
+      int128_t v = kc.type() == DataType::kBigInt
+                       ? static_cast<int128_t>(kc.i64_data()[g])
+                       : kc.i128_data()[g];
+      return HashUInt128(static_cast<uint128_t>(v));
+    }
+    std::string key;
+    for (const auto& col : key_store_.columns) SerializeValue(col, g, &key);
+    return HashBytes(key);
+  }
+
+  /// Emit groups [from, from+count) as an output chunk (keys ++ agg results).
+  Status EmitChunk(uint32_t from, uint32_t count, DataChunk* out) const {
+    out->columns.clear();
+    for (const auto& col : key_store_.columns) {
+      out->columns.emplace_back(col.type());
+    }
+    for (const auto& spec : plan_.aggs) {
+      out->columns.emplace_back(spec.result_type);
+    }
+    size_t nk = key_store_.columns.size();
+    for (uint32_t g = from; g < from + count; ++g) {
+      for (size_t k = 0; k < nk; ++k) {
+        out->columns[k].AppendFrom(key_store_.columns[k], g);
+      }
+      for (size_t agg = 0; agg < plan_.aggs.size(); ++agg) {
+        const BoundAggSpec& spec = plan_.aggs[agg];
+        const Accum& a = accums_[agg][g];
+        ColumnVector& dst = out->columns[nk + agg];
+        switch (spec.func) {
+          case AggFunc::kCountStar:
+          case AggFunc::kCount:
+            dst.AppendBigInt(a.count);
+            break;
+          case AggFunc::kSum:
+            if (!a.has) {
+              dst.AppendNull();
+            } else if (spec.result_type == DataType::kDouble) {
+              dst.AppendDouble(a.f64);
+            } else {
+              dst.AppendHugeInt(a.i128);
+            }
+            break;
+          case AggFunc::kAvg:
+            if (!a.has || a.count == 0) {
+              dst.AppendNull();
+            } else {
+              dst.AppendDouble(a.f64 / static_cast<double>(a.count));
+            }
+            break;
+          case AggFunc::kMin:
+          case AggFunc::kMax:
+            if (!a.has) {
+              dst.AppendNull();
+            } else {
+              QY_RETURN_IF_ERROR(dst.AppendValue(a.minmax));
+            }
+            break;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  void Clear() {
+    fast_map_.clear();
+    generic_map_.clear();
+    key_store_.Clear();
+    for (auto& a : accums_) a.clear();
+    scalar_group_init_ = false;
+  }
+
+ private:
+  void AppendGroup(const std::vector<ColumnVector>& keys, size_t r) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      key_store_.columns[k].AppendFrom(keys[k], r);
+    }
+    for (auto& a : accums_) a.emplace_back();
+  }
+
+  uint32_t GroupIndexFromValues(const std::vector<Value>& values) {
+    if (plan_.group_keys.empty()) {
+      EnsureScalarGroup();
+      return 0;
+    }
+    if (fast_) {
+      const Value& v = values[0];
+      IntKey key{v.is_null() ? 0 : v.AsHugeInt(), v.is_null()};
+      auto [it, inserted] = fast_map_.try_emplace(
+          key, static_cast<uint32_t>(key_store_.NumRows()));
+      if (inserted) AppendGroupValues(values);
+      return it->second;
+    }
+    std::string key;
+    for (const auto& v : values) SerializeRawValue(v, &key);
+    auto [it, inserted] = generic_map_.try_emplace(
+        std::move(key), static_cast<uint32_t>(key_store_.NumRows()));
+    if (inserted) AppendGroupValues(values);
+    return it->second;
+  }
+
+  void AppendGroupValues(const std::vector<Value>& values) {
+    for (size_t k = 0; k < values.size(); ++k) {
+      // Types match the key columns by construction.
+      (void)key_store_.columns[k].AppendValue(values[k]);
+    }
+    for (auto& a : accums_) a.emplace_back();
+  }
+
+  const PlanNode& plan_;
+  bool fast_ = false;
+  bool scalar_group_init_ = false;
+  std::unordered_map<IntKey, uint32_t, IntKeyHash> fast_map_;
+  std::unordered_map<std::string, uint32_t> generic_map_;
+  DataChunk key_store_;
+  std::vector<std::vector<Accum>> accums_;  // [agg][group]
+};
+
+/// One spill partition: a temp file of serialized partial-state records.
+struct Partition {
+  std::unique_ptr<TempFile> file;
+  std::unique_ptr<RecordWriter> writer;
+  uint64_t records = 0;
+};
+
+class HashAggNode : public ExecNode {
+ public:
+  HashAggNode(const PlanNode& plan, std::unique_ptr<ExecNode> child,
+              ExecContext* ctx)
+      : plan_(plan), child_(std::move(child)), ctx_(ctx),
+        reservation_(ctx->tracker), table_(plan) {}
+
+  Status Init() override {
+    QY_RETURN_IF_ERROR(child_->Init());
+    table_.EnsureScalarGroup();
+    while (true) {
+      DataChunk in;
+      bool child_done = false;
+      QY_RETURN_IF_ERROR(child_->Next(&in, &child_done));
+      if (child_done) break;
+      size_t n = in.NumRows();
+      if (n == 0) continue;
+      // Evaluate group keys and aggregate arguments for the whole chunk.
+      std::vector<ColumnVector> keys(plan_.group_keys.size());
+      for (size_t k = 0; k < plan_.group_keys.size(); ++k) {
+        QY_RETURN_IF_ERROR(plan_.group_keys[k]->Evaluate(in, &keys[k]));
+      }
+      std::vector<ColumnVector> args(plan_.aggs.size());
+      for (size_t a = 0; a < plan_.aggs.size(); ++a) {
+        if (plan_.aggs[a].arg) {
+          QY_RETURN_IF_ERROR(plan_.aggs[a].arg->Evaluate(in, &args[a]));
+        }
+      }
+      for (size_t r = 0; r < n; ++r) {
+        uint32_t g = table_.GroupIndex(keys, r);
+        for (size_t a = 0; a < plan_.aggs.size(); ++a) {
+          table_.Update(a, g, plan_.aggs[a].arg ? &args[a] : nullptr, r);
+        }
+      }
+      QY_RETURN_IF_ERROR(CheckMemoryAndMaybeSpill());
+    }
+    if (spilled_) {
+      QY_RETURN_IF_ERROR(FlushTable(0));
+      // Release in-memory reservation; partitions are on disk.
+      reservation_.ReleaseAll();
+      table_.Clear();
+      for (auto& p : partitions_) {
+        QY_RETURN_IF_ERROR(p.writer->Flush());
+        if (p.file->bytes_written() > 0) {
+          pending_.push_back({std::move(p.file), 0});
+        }
+      }
+      partitions_.clear();
+      emit_from_partitions_ = true;
+    }
+    return Status::OK();
+  }
+
+  Status Next(DataChunk* out, bool* done) override {
+    out->columns.clear();
+    if (!emit_from_partitions_) {
+      uint32_t total = static_cast<uint32_t>(table_.NumGroups());
+      if (emit_cursor_ >= total) {
+        *done = true;
+        return Status::OK();
+      }
+      uint32_t count = static_cast<uint32_t>(
+          std::min<uint64_t>(ctx_->chunk_size, total - emit_cursor_));
+      QY_RETURN_IF_ERROR(table_.EmitChunk(emit_cursor_, count, out));
+      emit_cursor_ += count;
+      *done = false;
+      return Status::OK();
+    }
+    // Partition-at-a-time emission.
+    while (true) {
+      uint32_t total = static_cast<uint32_t>(table_.NumGroups());
+      if (emit_cursor_ < total) {
+        uint32_t count = static_cast<uint32_t>(
+            std::min<uint64_t>(ctx_->chunk_size, total - emit_cursor_));
+        QY_RETURN_IF_ERROR(table_.EmitChunk(emit_cursor_, count, out));
+        emit_cursor_ += count;
+        *done = false;
+        return Status::OK();
+      }
+      // Advance to the next pending partition.
+      table_.Clear();
+      reservation_.ReleaseAll();
+      emit_cursor_ = 0;
+      if (pending_.empty()) {
+        *done = true;
+        return Status::OK();
+      }
+      PendingPartition part = std::move(pending_.back());
+      pending_.pop_back();
+      QY_RETURN_IF_ERROR(MergePartition(std::move(part)));
+    }
+  }
+
+ private:
+  struct PendingPartition {
+    std::unique_ptr<TempFile> file;
+    int depth;
+  };
+
+  Status CheckMemoryAndMaybeSpill() {
+    uint64_t need = table_.ApproxBytes();
+    uint64_t held = reservation_.held();
+    if (need <= held) return Status::OK();
+    Status s = reservation_.Reserve(need - held);
+    if (s.ok()) return s;
+    if (!ctx_->enable_spill || ctx_->temp_files == nullptr) {
+      return Status::OutOfMemory(
+          "hash aggregate exceeds memory budget and spilling is disabled (" +
+          std::to_string(table_.NumGroups()) + " groups)");
+    }
+    // Flush all current groups to disk partitions and start over.
+    spilled_ = true;
+    QY_RETURN_IF_ERROR(FlushTable(0));
+    table_.Clear();
+    reservation_.ReleaseAll();
+    return Status::OK();
+  }
+
+  Status EnsurePartitions(int depth) {
+    if (!partitions_.empty()) return Status::OK();
+    partitions_.resize(kNumPartitions);
+    for (int p = 0; p < kNumPartitions; ++p) {
+      QY_ASSIGN_OR_RETURN(
+          partitions_[p].file,
+          ctx_->temp_files->Create("agg_d" + std::to_string(depth) + "_p" +
+                                   std::to_string(p)));
+      partitions_[p].writer =
+          std::make_unique<RecordWriter>(partitions_[p].file.get());
+      ++ctx_->spill_partitions;
+    }
+    return Status::OK();
+  }
+
+  static int PartitionOf(uint64_t hash, int depth) {
+    int shift = 60 - 4 * depth;
+    if (shift < 0) shift = 0;
+    return static_cast<int>((hash >> shift) & (kNumPartitions - 1));
+  }
+
+  /// Serialize every in-memory group into the current partition set.
+  Status FlushTable(int depth) {
+    QY_RETURN_IF_ERROR(EnsurePartitions(depth));
+    uint32_t total = static_cast<uint32_t>(table_.NumGroups());
+    std::string buf;
+    for (uint32_t g = 0; g < total; ++g) {
+      buf.clear();
+      table_.SerializeGroup(g, &buf);
+      int p = PartitionOf(table_.GroupHash(g), depth);
+      QY_RETURN_IF_ERROR(partitions_[p].writer->Write(buf));
+      ++partitions_[p].records;
+      ++ctx_->rows_spilled;
+    }
+    // On the first finalization flush, move the partitions to pending.
+    return Status::OK();
+  }
+
+  /// Load one partition into the (empty) in-memory table, repartitioning if
+  /// it does not fit.
+  Status MergePartition(PendingPartition part) {
+    QY_RETURN_IF_ERROR(part.file->Rewind());
+    RecordReader reader(part.file.get());
+    std::vector<Partition> sub;  // lazily created on overflow
+    bool overflow = false;
+    std::string record;
+    while (true) {
+      bool eof = false;
+      QY_RETURN_IF_ERROR(reader.Read(&record, &eof));
+      if (eof) break;
+      if (!overflow) {
+        QY_RETURN_IF_ERROR(table_.MergeRecord(record));
+        uint64_t need = table_.ApproxBytes();
+        if (need > reservation_.held()) {
+          Status s = reservation_.Reserve(need - reservation_.held());
+          if (!s.ok()) {
+            if (part.depth + 1 >= kMaxDepth) {
+              return Status::OutOfMemory(
+                  "aggregate partition exceeds memory budget at max "
+                  "repartition depth");
+            }
+            overflow = true;
+            // Flush current partial table into sub-partitions, then continue
+            // routing the remaining records directly.
+            sub.resize(kNumPartitions);
+            for (int p = 0; p < kNumPartitions; ++p) {
+              QY_ASSIGN_OR_RETURN(
+                  sub[p].file,
+                  ctx_->temp_files->Create(
+                      "agg_d" + std::to_string(part.depth + 1) + "_p" +
+                      std::to_string(p)));
+              sub[p].writer = std::make_unique<RecordWriter>(sub[p].file.get());
+              ++ctx_->spill_partitions;
+            }
+            uint32_t total = static_cast<uint32_t>(table_.NumGroups());
+            std::string buf;
+            for (uint32_t g = 0; g < total; ++g) {
+              buf.clear();
+              table_.SerializeGroup(g, &buf);
+              int p = PartitionOf(table_.GroupHash(g), part.depth + 1);
+              QY_RETURN_IF_ERROR(sub[p].writer->Write(buf));
+              ++ctx_->rows_spilled;
+            }
+            table_.Clear();
+            reservation_.ReleaseAll();
+          }
+        }
+      } else {
+        // Route record to sub-partition by key hash (recompute from record).
+        QY_RETURN_IF_ERROR(RouteRecord(record, part.depth + 1, &sub));
+      }
+    }
+    if (overflow) {
+      for (auto& p : sub) {
+        QY_RETURN_IF_ERROR(p.writer->Flush());
+        if (p.records > 0 || p.file->bytes_written() > 0) {
+          pending_.push_back({std::move(p.file), part.depth + 1});
+        }
+      }
+      table_.Clear();
+      // Nothing to emit yet; caller loops to the next pending partition.
+    }
+    return Status::OK();
+  }
+
+  /// Compute the key hash of a serialized record and route it onward.
+  Status RouteRecord(const std::string& record, int depth,
+                     std::vector<Partition>* sub) {
+    ByteReader reader(record.data(), record.size());
+    std::vector<Value> key_values(plan_.group_keys.size());
+    for (size_t k = 0; k < plan_.group_keys.size(); ++k) {
+      QY_RETURN_IF_ERROR(
+          reader.ReadValue(plan_.group_keys[k]->type, &key_values[k]));
+    }
+    uint64_t hash;
+    if (plan_.group_keys.size() == 1 && IsInteger(plan_.group_keys[0]->type) &&
+        !key_values[0].is_null()) {
+      hash = HashUInt128(static_cast<uint128_t>(key_values[0].AsHugeInt()));
+    } else if (plan_.group_keys.empty()) {
+      hash = 0;
+    } else {
+      std::string key;
+      for (const auto& v : key_values) SerializeRawValue(v, &key);
+      hash = HashBytes(key);
+    }
+    int p = PartitionOf(hash, depth);
+    QY_RETURN_IF_ERROR((*sub)[p].writer->Write(record));
+    ++(*sub)[p].records;
+    ++ctx_->rows_spilled;
+    return Status::OK();
+  }
+
+  const PlanNode& plan_;
+  std::unique_ptr<ExecNode> child_;
+  ExecContext* ctx_;
+  ScopedReservation reservation_;
+  GroupTable table_;
+
+  bool spilled_ = false;
+  std::vector<Partition> partitions_;
+  std::vector<PendingPartition> pending_;
+  bool emit_from_partitions_ = false;
+  uint32_t emit_cursor_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ExecNode>> CreateHashAggNode(
+    const PlanNode& plan, std::unique_ptr<ExecNode> child, ExecContext* ctx) {
+  return std::unique_ptr<ExecNode>(
+      new HashAggNode(plan, std::move(child), ctx));
+}
+
+}  // namespace qy::sql

@@ -1,0 +1,588 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "sql/spill.h"
+
+namespace qy::sql {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+class ScanNode : public ExecNode {
+ public:
+  ScanNode(const PlanNode& plan, ExecContext* ctx) : plan_(plan), ctx_(ctx) {}
+
+  Status Init() override { return Status::OK(); }
+
+  Status Next(DataChunk* out, bool* done) override {
+    const Table& table = *plan_.table;
+    out->columns.clear();
+    if (offset_ >= table.NumRows()) {
+      *done = true;
+      return Status::OK();
+    }
+    *done = false;
+    uint64_t count = std::min<uint64_t>(ctx_->chunk_size,
+                                        table.NumRows() - offset_);
+    out->columns.reserve(table.schema().NumColumns());
+    for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
+      ColumnVector col(table.schema().column(c).type);
+      col.Reserve(count);
+      table.ScanColumn(c, offset_, count, &col);
+      out->columns.push_back(std::move(col));
+    }
+    offset_ += count;
+    return Status::OK();
+  }
+
+ private:
+  const PlanNode& plan_;
+  ExecContext* ctx_;
+  uint64_t offset_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+/// Append the rows of `src` selected by `mask` (bool column) to `dst`.
+void SelectRows(const DataChunk& src, const ColumnVector& mask,
+                DataChunk* dst) {
+  size_t n = src.NumRows();
+  if (dst->columns.empty()) {
+    for (const auto& col : src.columns) {
+      dst->columns.emplace_back(col.type());
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (mask.IsNull(i) || mask.bool_data()[i] == 0) continue;
+    for (size_t c = 0; c < src.columns.size(); ++c) {
+      dst->columns[c].AppendFrom(src.columns[c], i);
+    }
+  }
+}
+
+class FilterNode : public ExecNode {
+ public:
+  FilterNode(const PlanNode& plan, std::unique_ptr<ExecNode> child)
+      : plan_(plan), child_(std::move(child)) {}
+
+  Status Init() override { return child_->Init(); }
+
+  Status Next(DataChunk* out, bool* done) override {
+    out->columns.clear();
+    while (true) {
+      DataChunk in;
+      bool child_done = false;
+      QY_RETURN_IF_ERROR(child_->Next(&in, &child_done));
+      if (child_done) {
+        *done = true;
+        return Status::OK();
+      }
+      if (in.NumRows() == 0) continue;
+      ColumnVector mask;
+      QY_RETURN_IF_ERROR(plan_.predicate->Evaluate(in, &mask));
+      DataChunk filtered;
+      SelectRows(in, mask, &filtered);
+      if (filtered.NumRows() > 0) {
+        *out = std::move(filtered);
+        *done = false;
+        return Status::OK();
+      }
+      // else: keep pulling
+    }
+  }
+
+ private:
+  const PlanNode& plan_;
+  std::unique_ptr<ExecNode> child_;
+};
+
+// ---------------------------------------------------------------------------
+// Project
+// ---------------------------------------------------------------------------
+
+class ProjectNode : public ExecNode {
+ public:
+  ProjectNode(const PlanNode& plan, std::unique_ptr<ExecNode> child)
+      : plan_(plan), child_(std::move(child)) {}
+
+  Status Init() override {
+    return child_ ? child_->Init() : Status::OK();
+  }
+
+  Status Next(DataChunk* out, bool* done) override {
+    out->columns.clear();
+    DataChunk in;
+    bool child_done = false;
+    if (child_) {
+      QY_RETURN_IF_ERROR(child_->Next(&in, &child_done));
+      if (child_done) {
+        *done = true;
+        return Status::OK();
+      }
+    } else {
+      // SELECT of constants: synthesize exactly one dummy row once.
+      if (emitted_dual_) {
+        *done = true;
+        return Status::OK();
+      }
+      emitted_dual_ = true;
+      in.columns.emplace_back(DataType::kBigInt);
+      in.columns[0].AppendBigInt(0);
+    }
+    *done = false;
+    out->columns.reserve(plan_.projections.size());
+    for (const auto& proj : plan_.projections) {
+      ColumnVector col;
+      QY_RETURN_IF_ERROR(proj->Evaluate(in, &col));
+      out->columns.push_back(std::move(col));
+    }
+    return Status::OK();
+  }
+
+ private:
+  const PlanNode& plan_;
+  std::unique_ptr<ExecNode> child_;
+  bool emitted_dual_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Limit
+// ---------------------------------------------------------------------------
+
+class LimitNode : public ExecNode {
+ public:
+  LimitNode(const PlanNode& plan, std::unique_ptr<ExecNode> child)
+      : remaining_(plan.limit), child_(std::move(child)) {}
+
+  Status Init() override { return child_->Init(); }
+
+  Status Next(DataChunk* out, bool* done) override {
+    out->columns.clear();
+    if (remaining_ <= 0) {
+      *done = true;
+      return Status::OK();
+    }
+    bool child_done = false;
+    QY_RETURN_IF_ERROR(child_->Next(out, &child_done));
+    if (child_done) {
+      *done = true;
+      return Status::OK();
+    }
+    *done = false;
+    int64_t rows = static_cast<int64_t>(out->NumRows());
+    if (rows > remaining_) {
+      // Truncate chunk to the remaining row budget.
+      DataChunk truncated;
+      for (const auto& col : out->columns) {
+        truncated.columns.emplace_back(col.type());
+      }
+      for (int64_t i = 0; i < remaining_; ++i) {
+        for (size_t c = 0; c < out->columns.size(); ++c) {
+          truncated.columns[c].AppendFrom(out->columns[c],
+                                          static_cast<size_t>(i));
+        }
+      }
+      *out = std::move(truncated);
+      remaining_ = 0;
+    } else {
+      remaining_ -= rows;
+    }
+    return Status::OK();
+  }
+
+ private:
+  int64_t remaining_;
+  std::unique_ptr<ExecNode> child_;
+};
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+class SortNode : public ExecNode {
+ public:
+  SortNode(const PlanNode& plan, std::unique_ptr<ExecNode> child,
+           ExecContext* ctx)
+      : plan_(plan), child_(std::move(child)), ctx_(ctx),
+        reservation_(ctx->tracker) {}
+
+  Status Init() override {
+    QY_RETURN_IF_ERROR(child_->Init());
+    // Materialize input.
+    DataChunk all;
+    while (true) {
+      DataChunk in;
+      bool child_done = false;
+      QY_RETURN_IF_ERROR(child_->Next(&in, &child_done));
+      if (child_done) break;
+      if (all.columns.empty()) {
+        for (const auto& col : in.columns) {
+          all.columns.emplace_back(col.type());
+        }
+      }
+      QY_RETURN_IF_ERROR(reservation_.Reserve(in.ApproxBytes()));
+      for (size_t c = 0; c < in.columns.size(); ++c) {
+        for (size_t r = 0; r < in.NumRows(); ++r) {
+          all.columns[c].AppendFrom(in.columns[c], r);
+        }
+      }
+    }
+    size_t n = all.NumRows();
+    // Evaluate sort keys over the full materialized input.
+    std::vector<ColumnVector> keys(plan_.sort_keys.size());
+    if (n > 0) {
+      for (size_t k = 0; k < plan_.sort_keys.size(); ++k) {
+        QY_RETURN_IF_ERROR(plan_.sort_keys[k].expr->Evaluate(all, &keys[k]));
+      }
+    }
+    std::vector<uint32_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       for (size_t k = 0; k < keys.size(); ++k) {
+                         int c = keys[k].GetValue(a).Compare(keys[k].GetValue(b));
+                         if (c != 0) {
+                           return plan_.sort_keys[k].ascending ? c < 0 : c > 0;
+                         }
+                       }
+                       return false;
+                     });
+    sorted_ = std::move(all);
+    order_ = std::move(order);
+    return Status::OK();
+  }
+
+  Status Next(DataChunk* out, bool* done) override {
+    out->columns.clear();
+    size_t n = order_.size();
+    if (cursor_ >= n) {
+      *done = true;
+      return Status::OK();
+    }
+    *done = false;
+    size_t count = std::min(ctx_->chunk_size, n - cursor_);
+    for (const auto& col : sorted_.columns) {
+      out->columns.emplace_back(col.type());
+    }
+    for (size_t i = 0; i < count; ++i) {
+      uint32_t src = order_[cursor_ + i];
+      for (size_t c = 0; c < sorted_.columns.size(); ++c) {
+        out->columns[c].AppendFrom(sorted_.columns[c], src);
+      }
+    }
+    cursor_ += count;
+    return Status::OK();
+  }
+
+ private:
+  const PlanNode& plan_;
+  std::unique_ptr<ExecNode> child_;
+  ExecContext* ctx_;
+  ScopedReservation reservation_;
+  DataChunk sorted_;
+  std::vector<uint32_t> order_;
+  size_t cursor_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Hash join (equi) / cross product
+// ---------------------------------------------------------------------------
+
+/// 128-bit-key hash entry for the single-integer-key fast path.
+struct IntKey {
+  int128_t v;
+  bool null = false;
+  bool operator==(const IntKey& o) const { return null == o.null && v == o.v; }
+};
+struct IntKeyHash {
+  size_t operator()(const IntKey& k) const {
+    return k.null ? 0x1234567 : HashUInt128(static_cast<uint128_t>(k.v));
+  }
+};
+
+class HashJoinNode : public ExecNode {
+ public:
+  HashJoinNode(const PlanNode& plan, std::unique_ptr<ExecNode> left,
+               std::unique_ptr<ExecNode> right, ExecContext* ctx)
+      : plan_(plan), left_(std::move(left)), right_(std::move(right)),
+        ctx_(ctx), reservation_(ctx->tracker) {}
+
+  Status Init() override {
+    QY_RETURN_IF_ERROR(left_->Init());
+    QY_RETURN_IF_ERROR(right_->Init());
+    // Build phase: materialize right side.
+    while (true) {
+      DataChunk in;
+      bool child_done = false;
+      QY_RETURN_IF_ERROR(right_->Next(&in, &child_done));
+      if (child_done) break;
+      if (build_.columns.empty()) {
+        for (const auto& col : in.columns) {
+          build_.columns.emplace_back(col.type());
+        }
+      }
+      Status reserve = reservation_.Reserve(in.ApproxBytes() + 64);
+      if (!reserve.ok()) {
+        return Status::OutOfMemory(
+            "hash join build side exceeds memory budget (" +
+            std::to_string(build_.NumRows()) +
+            " rows); Qymera gate tables are expected to be small");
+      }
+      for (size_t c = 0; c < in.columns.size(); ++c) {
+        for (size_t r = 0; r < in.NumRows(); ++r) {
+          build_.columns[c].AppendFrom(in.columns[c], r);
+        }
+      }
+    }
+    if (build_.columns.empty()) {
+      for (const auto& col : plan_.children[1]->output_schema.columns()) {
+        build_.columns.emplace_back(col.type);
+      }
+    }
+    size_t n = build_.NumRows();
+    if (!plan_.right_keys.empty() && n > 0) {
+      use_fast_key_ = plan_.right_keys.size() == 1 &&
+                      IsInteger(plan_.right_keys[0]->type);
+      std::vector<ColumnVector> keys(plan_.right_keys.size());
+      for (size_t k = 0; k < plan_.right_keys.size(); ++k) {
+        QY_RETURN_IF_ERROR(plan_.right_keys[k]->Evaluate(build_, &keys[k]));
+      }
+      if (use_fast_key_) {
+        fast_table_.reserve(n * 2);
+        const ColumnVector& kc = keys[0];
+        for (size_t r = 0; r < n; ++r) {
+          if (kc.IsNull(r)) continue;  // NULL keys never match
+          IntKey key{kc.type() == DataType::kBigInt
+                         ? static_cast<int128_t>(kc.i64_data()[r])
+                         : kc.i128_data()[r],
+                     false};
+          fast_table_[key].push_back(static_cast<uint32_t>(r));
+        }
+      } else {
+        generic_table_.reserve(n * 2);
+        for (size_t r = 0; r < n; ++r) {
+          std::string key;
+          bool has_null = false;
+          for (const auto& kc : keys) {
+            if (kc.IsNull(r)) has_null = true;
+            SerializeValue(kc, r, &key);
+          }
+          if (has_null) continue;
+          generic_table_[key].push_back(static_cast<uint32_t>(r));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Next(DataChunk* out, bool* done) override {
+    out->columns.clear();
+    while (true) {
+      DataChunk probe;
+      bool child_done = false;
+      QY_RETURN_IF_ERROR(left_->Next(&probe, &child_done));
+      if (child_done) {
+        *done = true;
+        return Status::OK();
+      }
+      if (probe.NumRows() == 0) continue;
+      DataChunk joined;
+      QY_RETURN_IF_ERROR(ProbeChunk(probe, &joined));
+      if (plan_.residual && joined.NumRows() > 0) {
+        ColumnVector mask;
+        QY_RETURN_IF_ERROR(plan_.residual->Evaluate(joined, &mask));
+        DataChunk filtered;
+        SelectRows(joined, mask, &filtered);
+        joined = std::move(filtered);
+      }
+      if (joined.NumRows() > 0) {
+        *out = std::move(joined);
+        *done = false;
+        return Status::OK();
+      }
+    }
+  }
+
+ private:
+  Status ProbeChunk(const DataChunk& probe, DataChunk* out) {
+    size_t left_cols = probe.columns.size();
+    size_t right_cols = build_.columns.size();
+    out->columns.clear();
+    for (const auto& col : probe.columns) {
+      out->columns.emplace_back(col.type());
+    }
+    for (const auto& col : build_.columns) {
+      out->columns.emplace_back(col.type());
+    }
+    auto emit = [&](size_t probe_row, uint32_t build_row) {
+      for (size_t c = 0; c < left_cols; ++c) {
+        out->columns[c].AppendFrom(probe.columns[c], probe_row);
+      }
+      for (size_t c = 0; c < right_cols; ++c) {
+        out->columns[left_cols + c].AppendFrom(build_.columns[c], build_row);
+      }
+    };
+    size_t n = probe.NumRows();
+    if (plan_.right_keys.empty()) {
+      // Cross product.
+      for (size_t r = 0; r < n; ++r) {
+        for (uint32_t b = 0; b < build_.NumRows(); ++b) emit(r, b);
+      }
+      return Status::OK();
+    }
+    std::vector<ColumnVector> keys(plan_.left_keys.size());
+    for (size_t k = 0; k < plan_.left_keys.size(); ++k) {
+      QY_RETURN_IF_ERROR(plan_.left_keys[k]->Evaluate(probe, &keys[k]));
+    }
+    if (use_fast_key_) {
+      const ColumnVector& kc = keys[0];
+      // The probe key may bind as BIGINT while build is HUGEINT (or vice
+      // versa); IntKey normalizes to int128 so mixed widths compare equal.
+      for (size_t r = 0; r < n; ++r) {
+        if (kc.IsNull(r)) continue;
+        IntKey key{kc.type() == DataType::kBigInt
+                       ? static_cast<int128_t>(kc.i64_data()[r])
+                       : kc.i128_data()[r],
+                   false};
+        auto it = fast_table_.find(key);
+        if (it == fast_table_.end()) continue;
+        for (uint32_t b : it->second) emit(r, b);
+      }
+    } else {
+      for (size_t r = 0; r < n; ++r) {
+        std::string key;
+        bool has_null = false;
+        for (const auto& kc : keys) {
+          if (kc.IsNull(r)) has_null = true;
+          SerializeValue(kc, r, &key);
+        }
+        if (has_null) continue;
+        auto it = generic_table_.find(key);
+        if (it == generic_table_.end()) continue;
+        for (uint32_t b : it->second) emit(r, b);
+      }
+    }
+    return Status::OK();
+  }
+
+  const PlanNode& plan_;
+  std::unique_ptr<ExecNode> left_, right_;
+  ExecContext* ctx_;
+  ScopedReservation reservation_;
+  DataChunk build_;
+  bool use_fast_key_ = false;
+  std::unordered_map<IntKey, std::vector<uint32_t>, IntKeyHash> fast_table_;
+  std::unordered_map<std::string, std::vector<uint32_t>> generic_table_;
+};
+
+}  // namespace
+
+// Defined in exec_agg.cc.
+Result<std::unique_ptr<ExecNode>> CreateHashAggNode(
+    const PlanNode& plan, std::unique_ptr<ExecNode> child, ExecContext* ctx);
+
+Result<std::unique_ptr<ExecNode>> CreateExecNode(const PlanNode& plan,
+                                                 ExecContext* ctx) {
+  switch (plan.kind) {
+    case PlanNode::Kind::kScan:
+      return std::unique_ptr<ExecNode>(new ScanNode(plan, ctx));
+    case PlanNode::Kind::kFilter: {
+      QY_ASSIGN_OR_RETURN(auto child, CreateExecNode(*plan.children[0], ctx));
+      return std::unique_ptr<ExecNode>(
+          new FilterNode(plan, std::move(child)));
+    }
+    case PlanNode::Kind::kProject: {
+      std::unique_ptr<ExecNode> child;
+      if (!plan.children.empty() && plan.children[0]) {
+        QY_ASSIGN_OR_RETURN(child, CreateExecNode(*plan.children[0], ctx));
+      }
+      return std::unique_ptr<ExecNode>(
+          new ProjectNode(plan, std::move(child)));
+    }
+    case PlanNode::Kind::kJoin: {
+      QY_ASSIGN_OR_RETURN(auto left, CreateExecNode(*plan.children[0], ctx));
+      QY_ASSIGN_OR_RETURN(auto right, CreateExecNode(*plan.children[1], ctx));
+      return std::unique_ptr<ExecNode>(
+          new HashJoinNode(plan, std::move(left), std::move(right), ctx));
+    }
+    case PlanNode::Kind::kAggregate: {
+      QY_ASSIGN_OR_RETURN(auto child, CreateExecNode(*plan.children[0], ctx));
+      return CreateHashAggNode(plan, std::move(child), ctx);
+    }
+    case PlanNode::Kind::kSort: {
+      QY_ASSIGN_OR_RETURN(auto child, CreateExecNode(*plan.children[0], ctx));
+      return std::unique_ptr<ExecNode>(
+          new SortNode(plan, std::move(child), ctx));
+    }
+    case PlanNode::Kind::kLimit: {
+      QY_ASSIGN_OR_RETURN(auto child, CreateExecNode(*plan.children[0], ctx));
+      return std::unique_ptr<ExecNode>(new LimitNode(plan, std::move(child)));
+    }
+  }
+  return Status::Internal("unhandled plan node kind");
+}
+
+Status ExecutePlan(const PlanNode& plan, ExecContext* ctx, Table* sink) {
+  QY_ASSIGN_OR_RETURN(auto root, CreateExecNode(plan, ctx));
+  QY_RETURN_IF_ERROR(root->Init());
+  while (true) {
+    DataChunk chunk;
+    bool done = false;
+    QY_RETURN_IF_ERROR(root->Next(&chunk, &done));
+    if (done) break;
+    if (chunk.NumRows() > 0) {
+      QY_RETURN_IF_ERROR(sink->AppendChunk(chunk));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN rendering
+// ---------------------------------------------------------------------------
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string line = pad;
+  switch (kind) {
+    case Kind::kScan:
+      line += "Scan " + (table ? table->name() : std::string("?")) + " [" +
+              output_schema.ToString() + "]";
+      break;
+    case Kind::kJoin:
+      line += "HashJoin keys=" + std::to_string(left_keys.size()) +
+              (residual ? " +residual" : "");
+      break;
+    case Kind::kFilter:
+      line += "Filter";
+      break;
+    case Kind::kProject:
+      line += "Project [" + output_schema.ToString() + "]";
+      break;
+    case Kind::kAggregate:
+      line += "HashAggregate keys=" + std::to_string(group_keys.size()) +
+              " aggs=" + std::to_string(aggs.size());
+      break;
+    case Kind::kSort:
+      line += "Sort keys=" + std::to_string(sort_keys.size());
+      break;
+    case Kind::kLimit:
+      line += "Limit " + std::to_string(limit);
+      break;
+  }
+  line += "\n";
+  for (const auto& child : children) {
+    if (child) line += child->ToString(indent + 1);
+  }
+  return line;
+}
+
+}  // namespace qy::sql

@@ -1,0 +1,51 @@
+/// \file executor.h
+/// Vectorized Volcano execution over physical plans.
+///
+/// Operators pull DataChunks from children via Next() until `done`. The hash
+/// aggregate spills partial states to temp-file partitions under memory
+/// pressure (Grace-style), which is what gives Qymera its out-of-core
+/// capability (paper Sec. 3.3).
+#pragma once
+
+#include <memory>
+
+#include "common/memory_tracker.h"
+#include "common/temp_file.h"
+#include "sql/plan.h"
+
+namespace qy::sql {
+
+/// Shared execution services and settings.
+struct ExecContext {
+  MemoryTracker* tracker = nullptr;        ///< required
+  TempFileManager* temp_files = nullptr;   ///< required when spilling enabled
+  size_t chunk_size = 2048;
+  bool enable_spill = true;
+  /// Execution statistics (cumulative across operators).
+  uint64_t rows_spilled = 0;
+  uint64_t spill_partitions = 0;
+};
+
+/// A physical operator instance.
+class ExecNode {
+ public:
+  virtual ~ExecNode() = default;
+
+  /// Prepare (may consume build-side children).
+  virtual Status Init() = 0;
+
+  /// Produce the next chunk. Sets *done=true (with an empty chunk) when
+  /// exhausted. A returned chunk may hold more rows than ctx->chunk_size
+  /// (joins can expand).
+  virtual Status Next(DataChunk* out, bool* done) = 0;
+};
+
+/// Instantiate the operator tree for `plan`.
+Result<std::unique_ptr<ExecNode>> CreateExecNode(const PlanNode& plan,
+                                                 ExecContext* ctx);
+
+/// Run `plan` to completion, appending all rows into `sink` (whose schema
+/// must match the plan output).
+Status ExecutePlan(const PlanNode& plan, ExecContext* ctx, Table* sink);
+
+}  // namespace qy::sql

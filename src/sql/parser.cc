@@ -1,0 +1,623 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace qy::sql {
+
+namespace {
+
+/// Words that terminate an expression / cannot start an operand, so a bare
+/// identifier in expression position that matches one is a syntax error
+/// rather than a column reference.
+bool IsReservedWord(const std::string& word) {
+  static const char* kReserved[] = {
+      "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",     "HAVING", "ORDER",
+      "LIMIT",  "JOIN",  "ON",     "AS",     "WITH",   "AND",    "OR",
+      "NOT",    "CASE",  "WHEN",   "THEN",   "ELSE",   "END",    "CAST",
+      "CREATE", "TABLE", "INSERT", "INTO",   "VALUES", "DROP",   "DISTINCT",
+      "ASC",    "DESC",  "NULL",   "TRUE",   "FALSE",  "INNER",  "LEFT",
+      "CROSS",  "EXPLAIN", "IS",   "UNION",  "REPLACE", "IF",    "EXISTS",
+  };
+  for (const char* kw : kReserved) {
+    if (EqualsIgnoreCase(word, kw)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseSingle() {
+    QY_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    ConsumeSymbol(";");
+    if (!AtEnd()) return Error("unexpected trailing tokens");
+    return stmt;
+  }
+
+  Result<std::vector<Statement>> ParseAll() {
+    std::vector<Statement> out;
+    while (!AtEnd()) {
+      QY_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+      out.push_back(std::move(stmt));
+      if (!ConsumeSymbol(";")) break;
+    }
+    if (!AtEnd()) return Error("unexpected trailing tokens");
+    return out;
+  }
+
+ private:
+  // ---- token helpers ----
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+  Token Advance() { return tokens_[pos_++]; }
+
+  bool ConsumeKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeSymbol(const char* s) {
+    if (Peek().IsSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!ConsumeKeyword(kw)) {
+      return Error(std::string("expected keyword ") + kw);
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* s) {
+    if (!ConsumeSymbol(s)) {
+      return Error(std::string("expected '") + s + "'");
+    }
+    return Status::OK();
+  }
+  Status Error(const std::string& what) const {
+    const Token& t = Peek();
+    return Status::ParseError("parse error at offset " +
+                              std::to_string(t.offset) + " near '" + t.text +
+                              "': " + what);
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  // ---- statements ----
+  Result<Statement> ParseStatementInner() {
+    Statement stmt;
+    if (Peek().IsKeyword("EXPLAIN")) {
+      Advance();
+      stmt.kind = Statement::Kind::kExplain;
+      QY_ASSIGN_OR_RETURN(auto sel, ParseSelect());
+      stmt.select = std::move(sel);
+      return stmt;
+    }
+    if (Peek().IsKeyword("SELECT") || Peek().IsKeyword("WITH")) {
+      stmt.kind = Statement::Kind::kSelect;
+      QY_ASSIGN_OR_RETURN(auto sel, ParseSelect());
+      stmt.select = std::move(sel);
+      return stmt;
+    }
+    if (Peek().IsKeyword("CREATE")) {
+      QY_ASSIGN_OR_RETURN(auto create, ParseCreateTable());
+      stmt.kind = Statement::Kind::kCreateTable;
+      stmt.create_table = std::move(create);
+      return stmt;
+    }
+    if (Peek().IsKeyword("INSERT")) {
+      QY_ASSIGN_OR_RETURN(auto insert, ParseInsert());
+      stmt.kind = Statement::Kind::kInsert;
+      stmt.insert = std::move(insert);
+      return stmt;
+    }
+    if (Peek().IsKeyword("DROP")) {
+      QY_ASSIGN_OR_RETURN(auto drop, ParseDrop());
+      stmt.kind = Statement::Kind::kDropTable;
+      stmt.drop_table = std::move(drop);
+      return stmt;
+    }
+    return Error("expected SELECT, WITH, CREATE, INSERT, DROP or EXPLAIN");
+  }
+
+  Result<std::unique_ptr<CreateTableStmt>> ParseCreateTable() {
+    Advance();  // CREATE
+    auto stmt = std::make_unique<CreateTableStmt>();
+    if (ConsumeKeyword("OR")) {
+      QY_RETURN_IF_ERROR(ExpectKeyword("REPLACE"));
+      stmt->or_replace = true;
+    }
+    QY_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    if (ConsumeKeyword("IF")) {
+      QY_RETURN_IF_ERROR(ExpectKeyword("NOT"));
+      QY_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+      stmt->if_not_exists = true;
+    }
+    QY_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+    if (ConsumeKeyword("AS")) {
+      QY_ASSIGN_OR_RETURN(stmt->as_select, ParseSelect());
+      return stmt;
+    }
+    QY_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      QY_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      QY_ASSIGN_OR_RETURN(std::string type_name,
+                          ExpectIdentifier("column type"));
+      QY_ASSIGN_OR_RETURN(DataType type, ParseDataType(type_name));
+      stmt->columns.push_back({std::move(col), type});
+      if (ConsumeSymbol(",")) continue;
+      QY_RETURN_IF_ERROR(ExpectSymbol(")"));
+      break;
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<InsertStmt>> ParseInsert() {
+    Advance();  // INSERT
+    QY_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    auto stmt = std::make_unique<InsertStmt>();
+    QY_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+    if (Peek().IsSymbol("(")) {
+      Advance();
+      while (true) {
+        QY_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+        stmt->column_names.push_back(std::move(col));
+        if (ConsumeSymbol(",")) continue;
+        QY_RETURN_IF_ERROR(ExpectSymbol(")"));
+        break;
+      }
+    }
+    if (Peek().IsKeyword("SELECT") || Peek().IsKeyword("WITH")) {
+      QY_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+      return stmt;
+    }
+    QY_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    while (true) {
+      QY_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      while (true) {
+        QY_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (ConsumeSymbol(",")) continue;
+        QY_RETURN_IF_ERROR(ExpectSymbol(")"));
+        break;
+      }
+      stmt->values_rows.push_back(std::move(row));
+      if (!ConsumeSymbol(",")) break;
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DropTableStmt>> ParseDrop() {
+    Advance();  // DROP
+    QY_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    auto stmt = std::make_unique<DropTableStmt>();
+    if (ConsumeKeyword("IF")) {
+      QY_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+      stmt->if_exists = true;
+    }
+    QY_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+    return stmt;
+  }
+
+  // ---- SELECT ----
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    auto select = std::make_unique<SelectStmt>();
+    if (ConsumeKeyword("WITH")) {
+      while (true) {
+        CommonTableExpr cte;
+        QY_ASSIGN_OR_RETURN(cte.name, ExpectIdentifier("CTE name"));
+        QY_RETURN_IF_ERROR(ExpectKeyword("AS"));
+        QY_RETURN_IF_ERROR(ExpectSymbol("("));
+        QY_ASSIGN_OR_RETURN(cte.select, ParseSelect());
+        QY_RETURN_IF_ERROR(ExpectSymbol(")"));
+        select->ctes.push_back(std::move(cte));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    QY_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    select->distinct = ConsumeKeyword("DISTINCT");
+    while (true) {
+      SelectItem item;
+      QY_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (ConsumeKeyword("AS")) {
+        QY_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+      } else if (Peek().type == TokenType::kIdentifier &&
+                 !IsReservedWord(Peek().text)) {
+        item.alias = Advance().text;
+      }
+      select->items.push_back(std::move(item));
+      if (!ConsumeSymbol(",")) break;
+    }
+    if (ConsumeKeyword("FROM")) {
+      QY_ASSIGN_OR_RETURN(select->from, ParseTableRef());
+    }
+    if (ConsumeKeyword("WHERE")) {
+      QY_ASSIGN_OR_RETURN(select->where, ParseExpr());
+    }
+    if (ConsumeKeyword("GROUP")) {
+      QY_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        QY_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+        select->group_by.push_back(std::move(g));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("HAVING")) {
+      QY_ASSIGN_OR_RETURN(select->having, ParseExpr());
+    }
+    if (ConsumeKeyword("ORDER")) {
+      QY_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        QY_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        select->order_by.push_back(std::move(item));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kIntLiteral) {
+        return Error("expected integer after LIMIT");
+      }
+      select->limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    return select;
+  }
+
+  Result<std::unique_ptr<TableRef>> ParseTableRef() {
+    QY_ASSIGN_OR_RETURN(auto left, ParseTablePrimary());
+    while (true) {
+      bool is_join = false;
+      bool has_condition = true;
+      if (Peek().IsKeyword("JOIN")) {
+        Advance();
+        is_join = true;
+      } else if (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN")) {
+        Advance();
+        Advance();
+        is_join = true;
+      } else if (Peek().IsKeyword("CROSS") && Peek(1).IsKeyword("JOIN")) {
+        Advance();
+        Advance();
+        is_join = true;
+        has_condition = false;
+      } else if (Peek().IsSymbol(",")) {
+        // Comma join = cross join (condition usually in WHERE).
+        Advance();
+        is_join = true;
+        has_condition = false;
+      }
+      if (!is_join) break;
+      QY_ASSIGN_OR_RETURN(auto right, ParseTablePrimary());
+      auto join = std::make_unique<TableRef>();
+      join->kind = TableRef::Kind::kJoin;
+      join->left = std::move(left);
+      join->right = std::move(right);
+      if (has_condition) {
+        QY_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        QY_ASSIGN_OR_RETURN(join->join_condition, ParseExpr());
+      }
+      left = std::move(join);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<TableRef>> ParseTablePrimary() {
+    auto tr = std::make_unique<TableRef>();
+    if (ConsumeSymbol("(")) {
+      tr->kind = TableRef::Kind::kSubquery;
+      QY_ASSIGN_OR_RETURN(tr->subquery, ParseSelect());
+      QY_RETURN_IF_ERROR(ExpectSymbol(")"));
+      ConsumeKeyword("AS");
+      QY_ASSIGN_OR_RETURN(tr->alias, ExpectIdentifier("subquery alias"));
+      return tr;
+    }
+    tr->kind = TableRef::Kind::kBase;
+    QY_ASSIGN_OR_RETURN(tr->table_name, ExpectIdentifier("table name"));
+    tr->alias = tr->table_name;
+    if (ConsumeKeyword("AS")) {
+      QY_ASSIGN_OR_RETURN(tr->alias, ExpectIdentifier("table alias"));
+    } else if (Peek().type == TokenType::kIdentifier &&
+               !IsReservedWord(Peek().text)) {
+      tr->alias = Advance().text;
+    }
+    return tr;
+  }
+
+  // ---- expressions (precedence climbing) ----
+  // OR < AND < NOT < comparison < | < ^ < & < << >> < + - < * / % < unary
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    QY_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Peek().IsKeyword("OR")) {
+      Advance();
+      QY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary("OR", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    QY_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      QY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary("AND", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      QY_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeUnary("NOT", std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    QY_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBitOr());
+    // IS [NOT] NULL
+    if (Peek().IsKeyword("IS")) {
+      Advance();
+      bool negated = ConsumeKeyword("NOT");
+      QY_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      ExprPtr test = MakeFunction("ISNULL", {});
+      test->children.push_back(std::move(lhs));
+      if (negated) return MakeUnary("NOT", std::move(test));
+      return test;
+    }
+    static const char* kCmp[] = {"=", "<>", "<=", ">=", "<", ">"};
+    for (const char* op : kCmp) {
+      if (Peek().IsSymbol(op)) {
+        Advance();
+        QY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBitOr());
+        return MakeBinary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseBitOr() {
+    QY_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBitXor());
+    while (Peek().IsSymbol("|") || Peek().IsSymbol("||")) {
+      bool concat = Peek().IsSymbol("||");
+      Advance();
+      QY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBitXor());
+      lhs = MakeBinary(concat ? "||" : "|", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseBitXor() {
+    QY_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBitAnd());
+    while (Peek().IsSymbol("^")) {
+      Advance();
+      QY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBitAnd());
+      lhs = MakeBinary("^", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseBitAnd() {
+    QY_ASSIGN_OR_RETURN(ExprPtr lhs, ParseShift());
+    while (Peek().IsSymbol("&")) {
+      Advance();
+      QY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseShift());
+      lhs = MakeBinary("&", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseShift() {
+    QY_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (Peek().IsSymbol("<<") || Peek().IsSymbol(">>")) {
+      std::string op = Advance().text;
+      QY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    QY_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      std::string op = Advance().text;
+      QY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    QY_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/") ||
+           Peek().IsSymbol("%")) {
+      std::string op = Advance().text;
+      QY_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().IsSymbol("-")) {
+      Advance();
+      QY_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return MakeUnary("-", std::move(operand));
+    }
+    if (Peek().IsSymbol("+")) {
+      Advance();
+      return ParseUnary();
+    }
+    if (Peek().IsSymbol("~")) {
+      Advance();
+      QY_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return MakeUnary("~", std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIntLiteral: {
+        Advance();
+        QY_ASSIGN_OR_RETURN(int128_t v, ParseInt128(t.text));
+        if (v >= INT64_MIN && v <= INT64_MAX) {
+          return MakeLiteral(Value::BigInt(static_cast<int64_t>(v)));
+        }
+        return MakeLiteral(Value::HugeInt(v));
+      }
+      case TokenType::kFloatLiteral:
+        Advance();
+        return MakeLiteral(Value::Double(std::strtod(t.text.c_str(), nullptr)));
+      case TokenType::kStringLiteral:
+        Advance();
+        return MakeLiteral(Value::Varchar(t.text));
+      case TokenType::kSymbol:
+        if (t.text == "(") {
+          Advance();
+          QY_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          QY_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        if (t.text == "*") {
+          Advance();
+          auto star = std::make_unique<Expr>();
+          star->kind = ExprKind::kStar;
+          return star;
+        }
+        return Error("unexpected symbol in expression");
+      case TokenType::kIdentifier:
+        return ParseIdentifierExpr();
+      case TokenType::kEnd:
+        return Error("unexpected end of input in expression");
+    }
+    return Error("unexpected token in expression");
+  }
+
+  Result<ExprPtr> ParseIdentifierExpr() {
+    const Token& t = Peek();
+    if (t.IsKeyword("NULL")) {
+      Advance();
+      return MakeLiteral(Value::Null(DataType::kBigInt));
+    }
+    if (t.IsKeyword("TRUE")) {
+      Advance();
+      return MakeLiteral(Value::Bool(true));
+    }
+    if (t.IsKeyword("FALSE")) {
+      Advance();
+      return MakeLiteral(Value::Bool(false));
+    }
+    if (t.IsKeyword("CASE")) return ParseCase();
+    if (t.IsKeyword("CAST")) return ParseCast();
+    if (IsReservedWord(t.text)) {
+      return Error("reserved word in expression: " + t.text);
+    }
+    std::string first = Advance().text;
+    // Function call.
+    if (Peek().IsSymbol("(")) {
+      Advance();
+      std::vector<ExprPtr> args;
+      if (!Peek().IsSymbol(")")) {
+        // COUNT(DISTINCT x) is parsed but DISTINCT is rejected at bind.
+        ConsumeKeyword("DISTINCT");
+        while (true) {
+          QY_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          args.push_back(std::move(arg));
+          if (!ConsumeSymbol(",")) break;
+        }
+      }
+      QY_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return MakeFunction(std::move(first), std::move(args));
+    }
+    // Qualified reference: table.column or table.*
+    if (Peek().IsSymbol(".")) {
+      Advance();
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        auto star = std::make_unique<Expr>();
+        star->kind = ExprKind::kStar;
+        star->table = std::move(first);
+        return star;
+      }
+      QY_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      return MakeColumnRef(std::move(first), std::move(col));
+    }
+    return MakeColumnRef("", std::move(first));
+  }
+
+  Result<ExprPtr> ParseCase() {
+    Advance();  // CASE
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kCase;
+    while (ConsumeKeyword("WHEN")) {
+      QY_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+      QY_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+      QY_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+      e->children.push_back(std::move(when));
+      e->children.push_back(std::move(then));
+    }
+    if (e->children.empty()) return Error("CASE requires at least one WHEN");
+    if (ConsumeKeyword("ELSE")) {
+      QY_ASSIGN_OR_RETURN(ExprPtr els, ParseExpr());
+      e->children.push_back(std::move(els));
+      e->case_has_else = true;
+    }
+    QY_RETURN_IF_ERROR(ExpectKeyword("END"));
+    return e;
+  }
+
+  Result<ExprPtr> ParseCast() {
+    Advance();  // CAST
+    QY_RETURN_IF_ERROR(ExpectSymbol("("));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kCast;
+    QY_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    e->children.push_back(std::move(inner));
+    QY_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    QY_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier("type name"));
+    QY_ASSIGN_OR_RETURN(e->cast_type, ParseDataType(type_name));
+    QY_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  QY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).ParseSingle();
+}
+
+Result<std::vector<Statement>> ParseScript(const std::string& sql) {
+  QY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).ParseAll();
+}
+
+}  // namespace qy::sql

@@ -1,0 +1,82 @@
+/// \file plan.h
+/// Physical query plan nodes produced by the binder and consumed by the
+/// executor. The planning pipeline is deliberately direct (no cost-based
+/// optimizer): scan/join tree -> filter -> aggregate -> project -> sort ->
+/// limit, with hash join build always on the right input (Qymera's generated
+/// queries join the large state table on the left against a tiny gate table
+/// on the right).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/expression.h"
+#include "sql/schema.h"
+#include "sql/table.h"
+
+namespace qy::sql {
+
+enum class AggFunc { kSum, kCount, kCountStar, kAvg, kMin, kMax };
+
+/// One aggregate computation within an Aggregate node.
+struct BoundAggSpec {
+  AggFunc func;
+  BoundExprPtr arg;       ///< nullptr for COUNT(*)
+  DataType result_type;
+};
+
+struct SortKeySpec {
+  BoundExprPtr expr;  ///< bound over the child's output layout
+  bool ascending = true;
+};
+
+/// A node of the physical plan tree.
+struct PlanNode {
+  enum class Kind {
+    kScan,      ///< base/CTE table scan
+    kJoin,      ///< hash join (equi keys) or cross product when no keys
+    kFilter,
+    kProject,
+    kAggregate, ///< hash aggregate (also implements DISTINCT)
+    kSort,
+    kLimit,
+  };
+
+  Kind kind;
+  Schema output_schema;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // kScan
+  Table* table = nullptr;
+
+  // kJoin: equal-length key lists; left_keys bound over the left child's
+  // layout, right_keys over the right child's layout. `residual` (optional)
+  // is bound over the concatenated output layout.
+  std::vector<BoundExprPtr> left_keys;
+  std::vector<BoundExprPtr> right_keys;
+  BoundExprPtr residual;
+
+  // kFilter
+  BoundExprPtr predicate;
+
+  // kProject
+  std::vector<BoundExprPtr> projections;
+
+  // kAggregate
+  std::vector<BoundExprPtr> group_keys;
+  std::vector<BoundAggSpec> aggs;
+
+  // kSort
+  std::vector<SortKeySpec> sort_keys;
+
+  // kLimit
+  int64_t limit = -1;
+
+  /// Indented plan rendering (EXPLAIN).
+  std::string ToString(int indent = 0) const;
+};
+
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+}  // namespace qy::sql

@@ -1,0 +1,55 @@
+#include "sql/query_result.h"
+
+#include <algorithm>
+
+namespace qy::sql {
+
+std::string QueryResult::ToString(uint64_t max_rows) const {
+  if (!table_) {
+    return "(no rows; " + std::to_string(rows_changed) + " rows changed)\n";
+  }
+  const Schema& s = schema();
+  uint64_t rows = std::min<uint64_t>(NumRows(), max_rows);
+  // Collect cell text and compute widths.
+  std::vector<std::vector<std::string>> cells;
+  std::vector<size_t> widths(s.NumColumns());
+  std::vector<std::string> header;
+  for (size_t c = 0; c < s.NumColumns(); ++c) {
+    header.push_back(s.column(c).name);
+    widths[c] = header[c].size();
+  }
+  for (uint64_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < s.NumColumns(); ++c) {
+      Value v = GetValue(r, c);
+      std::string text = v.type() == DataType::kVarchar && !v.is_null()
+                             ? v.varchar_value()
+                             : v.ToString();
+      widths[c] = std::max(widths[c], text.size());
+      row.push_back(std::move(text));
+    }
+    cells.push_back(std::move(row));
+  }
+  std::string out;
+  auto add_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += c == 0 ? "| " : " | ";
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+    }
+    out += " |\n";
+  };
+  add_row(header);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out += c == 0 ? "|-" : "-|-";
+    out.append(widths[c], '-');
+  }
+  out += "-|\n";
+  for (const auto& row : cells) add_row(row);
+  if (NumRows() > rows) {
+    out += "... (" + std::to_string(NumRows()) + " rows total)\n";
+  }
+  return out;
+}
+
+}  // namespace qy::sql

@@ -1,0 +1,69 @@
+/// \file query_result.h
+/// Materialized result of a query, with typed accessors.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sql/table.h"
+
+namespace qy::sql {
+
+/// Execution statistics attached to each result.
+struct ExecStats {
+  uint64_t rows_spilled = 0;
+  uint64_t spill_partitions = 0;
+  uint64_t peak_tracked_bytes = 0;
+  double wall_seconds = 0;
+};
+
+/// Holds the output rows of a SELECT (or empty for DDL/DML, with
+/// `rows_changed` populated).
+class QueryResult {
+ public:
+  QueryResult() = default;
+  explicit QueryResult(std::unique_ptr<Table> table)
+      : table_(std::move(table)) {}
+
+  bool has_rows() const { return table_ != nullptr; }
+  uint64_t NumRows() const { return table_ ? table_->NumRows() : 0; }
+  size_t NumColumns() const {
+    return table_ ? table_->schema().NumColumns() : 0;
+  }
+  const Schema& schema() const {
+    static const Schema kEmpty;
+    return table_ ? table_->schema() : kEmpty;
+  }
+
+  Value GetValue(uint64_t row, size_t col) const {
+    return table_->GetValue(row, col);
+  }
+  int64_t GetInt64(uint64_t row, size_t col) const {
+    return table_->GetValue(row, col).AsBigInt();
+  }
+  int128_t GetInt128(uint64_t row, size_t col) const {
+    return table_->GetValue(row, col).AsHugeInt();
+  }
+  double GetDouble(uint64_t row, size_t col) const {
+    return table_->GetValue(row, col).AsDouble();
+  }
+  std::string GetString(uint64_t row, size_t col) const {
+    Value v = table_->GetValue(row, col);
+    return v.type() == DataType::kVarchar && !v.is_null() ? v.varchar_value()
+                                                          : v.ToString();
+  }
+  /// Direct columnar access (for bulk readback by the simulator driver).
+  const ColumnVector& column(size_t col) const { return table_->column(col); }
+
+  /// ASCII rendering (up to `max_rows`).
+  std::string ToString(uint64_t max_rows = 50) const;
+
+  uint64_t rows_changed = 0;
+  ExecStats stats;
+  std::string explain_text;  ///< populated by EXPLAIN
+
+ private:
+  std::unique_ptr<Table> table_;
+};
+
+}  // namespace qy::sql

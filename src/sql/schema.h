@@ -1,0 +1,43 @@
+/// \file schema.h
+/// Column and relation schemas.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sql/types.h"
+
+namespace qy::sql {
+
+/// A named, typed column.
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+/// Ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t NumColumns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Index of column by name (case-insensitive); -1 when absent.
+  int FindColumn(const std::string& name) const;
+
+  void AddColumn(std::string name, DataType type) {
+    columns_.push_back({std::move(name), type});
+  }
+
+  /// "name TYPE, name TYPE, ..." — used by error messages and EXPLAIN.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace qy::sql

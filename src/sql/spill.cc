@@ -1,0 +1,155 @@
+#include "sql/spill.h"
+
+#include <cstring>
+
+namespace qy::sql {
+
+namespace {
+
+template <typename T>
+void AppendRaw(std::string* buf, const T& v) {
+  buf->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+}  // namespace
+
+void SerializeValue(const ColumnVector& col, size_t row, std::string* buf) {
+  if (col.IsNull(row)) {
+    buf->push_back(0);
+    return;
+  }
+  buf->push_back(1);
+  switch (col.type()) {
+    case DataType::kBool:
+      buf->push_back(static_cast<char>(col.bool_data()[row]));
+      break;
+    case DataType::kBigInt:
+      AppendRaw(buf, col.i64_data()[row]);
+      break;
+    case DataType::kHugeInt:
+      AppendRaw(buf, col.i128_data()[row]);
+      break;
+    case DataType::kDouble:
+      AppendRaw(buf, col.f64_data()[row]);
+      break;
+    case DataType::kVarchar: {
+      const std::string& s = col.str_data()[row];
+      uint32_t len = static_cast<uint32_t>(s.size());
+      AppendRaw(buf, len);
+      buf->append(s);
+      break;
+    }
+  }
+}
+
+void SerializeRawValue(const Value& v, std::string* buf) {
+  if (v.is_null()) {
+    buf->push_back(0);
+    return;
+  }
+  buf->push_back(1);
+  switch (v.type()) {
+    case DataType::kBool:
+      buf->push_back(v.bool_value() ? 1 : 0);
+      break;
+    case DataType::kBigInt:
+      AppendRaw(buf, v.bigint_value());
+      break;
+    case DataType::kHugeInt: {
+      int128_t x = v.hugeint_value();
+      AppendRaw(buf, x);
+      break;
+    }
+    case DataType::kDouble:
+      AppendRaw(buf, v.double_value());
+      break;
+    case DataType::kVarchar: {
+      uint32_t len = static_cast<uint32_t>(v.varchar_value().size());
+      AppendRaw(buf, len);
+      buf->append(v.varchar_value());
+      break;
+    }
+  }
+}
+
+Status ByteReader::ReadBytes(void* dst, size_t n) {
+  if (pos_ + n > size_) {
+    return Status::IoError("spill record truncated");
+  }
+  std::memcpy(dst, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadValue(DataType type, Value* out) {
+  uint8_t valid = 0;
+  QY_RETURN_IF_ERROR(ReadBytes(&valid, 1));
+  if (valid == 0) {
+    *out = Value::Null(type);
+    return Status::OK();
+  }
+  switch (type) {
+    case DataType::kBool: {
+      uint8_t b;
+      QY_RETURN_IF_ERROR(ReadBytes(&b, 1));
+      *out = Value::Bool(b != 0);
+      return Status::OK();
+    }
+    case DataType::kBigInt: {
+      int64_t v;
+      QY_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+      *out = Value::BigInt(v);
+      return Status::OK();
+    }
+    case DataType::kHugeInt: {
+      int128_t v;
+      QY_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+      *out = Value::HugeInt(v);
+      return Status::OK();
+    }
+    case DataType::kDouble: {
+      double v;
+      QY_RETURN_IF_ERROR(ReadBytes(&v, sizeof(v)));
+      *out = Value::Double(v);
+      return Status::OK();
+    }
+    case DataType::kVarchar: {
+      uint32_t len;
+      QY_RETURN_IF_ERROR(ReadBytes(&len, sizeof(len)));
+      if (pos_ + len > size_) return Status::IoError("spill string truncated");
+      *out = Value::Varchar(std::string(data_ + pos_, len));
+      pos_ += len;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled type in spill read");
+}
+
+Status RecordWriter::Write(const std::string& record) {
+  uint32_t len = static_cast<uint32_t>(record.size());
+  buffer_.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  buffer_.append(record);
+  ++records_;
+  if (buffer_.size() >= (1u << 20)) return Flush();
+  return Status::OK();
+}
+
+Status RecordWriter::Flush() {
+  if (buffer_.empty()) return Status::OK();
+  QY_RETURN_IF_ERROR(file_->WriteBytes(buffer_.data(), buffer_.size()));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status RecordReader::Read(std::string* record, bool* eof) {
+  uint32_t len = 0;
+  QY_RETURN_IF_ERROR(file_->ReadBytes(&len, sizeof(len), eof));
+  if (*eof) return Status::OK();
+  record->resize(len);
+  bool mid_eof = false;
+  QY_RETURN_IF_ERROR(file_->ReadBytes(record->data(), len, &mid_eof));
+  if (mid_eof && len > 0) return Status::IoError("truncated spill record");
+  return Status::OK();
+}
+
+}  // namespace qy::sql

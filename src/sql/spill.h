@@ -1,0 +1,69 @@
+/// \file spill.h
+/// Binary row (de)serialization for out-of-core spill partitions.
+///
+/// Format per value: [valid:u8][payload], payload fixed-width for numeric
+/// types, length-prefixed (u32) for VARCHAR. Rows are concatenated; files are
+/// framed by the writer knowing the schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/temp_file.h"
+#include "sql/column_vector.h"
+#include "sql/schema.h"
+
+namespace qy::sql {
+
+/// Serialize value at `row` of `col` into `buf`.
+void SerializeValue(const ColumnVector& col, size_t row, std::string* buf);
+
+/// Serialize a raw Value (same format).
+void SerializeRawValue(const Value& v, std::string* buf);
+
+/// Cursor-based reader over a byte buffer.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Status ReadValue(DataType type, Value* out);
+  Status ReadBytes(void* dst, size_t n);
+  bool AtEnd() const { return pos_ >= size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Buffered writer of length-framed records into a TempFile.
+class RecordWriter {
+ public:
+  explicit RecordWriter(TempFile* file) : file_(file) {}
+
+  /// Append one record (arbitrary bytes). Flushes every ~1 MiB.
+  Status Write(const std::string& record);
+  Status Flush();
+  uint64_t records_written() const { return records_; }
+
+ private:
+  TempFile* file_;
+  std::string buffer_;
+  uint64_t records_ = 0;
+};
+
+/// Streaming reader of records framed by RecordWriter.
+class RecordReader {
+ public:
+  explicit RecordReader(TempFile* file) : file_(file) {}
+
+  /// Read the next record; *eof=true at end.
+  Status Read(std::string* record, bool* eof);
+
+ private:
+  TempFile* file_;
+};
+
+}  // namespace qy::sql

@@ -1,0 +1,73 @@
+#include "sql/table.h"
+
+namespace qy::sql {
+
+Table::Table(std::string name, Schema schema, MemoryTracker* tracker)
+    : name_(std::move(name)), schema_(std::move(schema)), tracker_(tracker) {
+  columns_.reserve(schema_.NumColumns());
+  for (const auto& col : schema_.columns()) {
+    columns_.emplace_back(col.type);
+  }
+}
+
+Table::~Table() {
+  if (tracker_ != nullptr && tracked_bytes_ > 0) {
+    tracker_->Release(tracked_bytes_);
+  }
+}
+
+Status Table::TrackDelta() {
+  uint64_t now = 0;
+  for (const auto& c : columns_) now += c.ApproxBytes();
+  if (tracker_ != nullptr) {
+    if (now > tracked_bytes_) {
+      QY_RETURN_IF_ERROR(tracker_->Reserve(now - tracked_bytes_));
+    } else if (now < tracked_bytes_) {
+      tracker_->Release(tracked_bytes_ - now);
+    }
+  }
+  tracked_bytes_ = now;
+  return Status::OK();
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) + " does not match table " +
+        name_ + " arity " + std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    QY_RETURN_IF_ERROR(columns_[i].AppendValue(values[i]));
+  }
+  ++num_rows_;
+  // Track in batches of 512 rows to keep accounting cheap.
+  if ((num_rows_ & 511) == 0) QY_RETURN_IF_ERROR(TrackDelta());
+  return Status::OK();
+}
+
+Status Table::AppendChunk(const DataChunk& chunk) {
+  if (chunk.NumColumns() != columns_.size()) {
+    return Status::InvalidArgument("chunk arity mismatch for table " + name_);
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const ColumnVector& src = chunk.columns[c];
+    if (src.type() != columns_[c].type()) {
+      QY_ASSIGN_OR_RETURN(ColumnVector cast, src.CastTo(columns_[c].type()));
+      for (size_t r = 0; r < cast.size(); ++r) columns_[c].AppendFrom(cast, r);
+    } else {
+      for (size_t r = 0; r < src.size(); ++r) columns_[c].AppendFrom(src, r);
+    }
+  }
+  num_rows_ += chunk.NumRows();
+  return TrackDelta();
+}
+
+void Table::ScanColumn(size_t col, uint64_t offset, uint64_t count,
+                       ColumnVector* out) const {
+  const ColumnVector& src = columns_[col];
+  for (uint64_t r = offset; r < offset + count; ++r) {
+    out->AppendFrom(src, r);
+  }
+}
+
+}  // namespace qy::sql

@@ -1,0 +1,64 @@
+/// \file table.h
+/// In-memory columnar base table storage.
+///
+/// Tables are append-only (Qymera's simulation pipeline creates, bulk-loads
+/// and reads tables; it never updates in place). Bytes are accounted against
+/// the database MemoryTracker so the 2 GB-budget experiments see table
+/// storage too.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "sql/column_vector.h"
+#include "sql/schema.h"
+
+namespace qy::sql {
+
+class Table {
+ public:
+  /// `tracker` may be nullptr (untracked table, used in tests).
+  Table(std::string name, Schema schema, MemoryTracker* tracker);
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t NumRows() const { return num_rows_; }
+
+  /// Append one row of Values (cast to column types as needed).
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Append a whole chunk (column count/types must match).
+  Status AppendChunk(const DataChunk& chunk);
+
+  /// Copy rows [offset, offset+count) of column `col` into `out` (appending).
+  void ScanColumn(size_t col, uint64_t offset, uint64_t count,
+                  ColumnVector* out) const;
+
+  /// Direct read-only access to a whole stored column.
+  const ColumnVector& column(size_t i) const { return columns_[i]; }
+
+  Value GetValue(uint64_t row, size_t col) const {
+    return columns_[col].GetValue(row);
+  }
+
+  /// Heap bytes currently accounted for this table.
+  uint64_t tracked_bytes() const { return tracked_bytes_; }
+
+ private:
+  Status TrackDelta();
+
+  std::string name_;
+  Schema schema_;
+  MemoryTracker* tracker_;
+  std::vector<ColumnVector> columns_;
+  uint64_t num_rows_ = 0;
+  uint64_t tracked_bytes_ = 0;
+};
+
+}  // namespace qy::sql

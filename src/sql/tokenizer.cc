@@ -1,0 +1,124 @@
+#include "sql/tokenizer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace qy::sql {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto error = [&](const std::string& what) {
+    return Status::ParseError("lex error at offset " + std::to_string(i) +
+                              ": " + what);
+  };
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      size_t end = sql.find("*/", i + 2);
+      if (end == std::string::npos) return error("unterminated block comment");
+      i = end + 2;
+      continue;
+    }
+    size_t start = i;
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenType::kIdentifier, sql.substr(start, i - start), start});
+      continue;
+    }
+    // Quoted identifiers.
+    if (c == '"') {
+      ++i;
+      std::string text;
+      while (i < n && sql[i] != '"') text.push_back(sql[i++]);
+      if (i >= n) return error("unterminated quoted identifier");
+      ++i;
+      tokens.push_back({TokenType::kIdentifier, std::move(text), start});
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_float = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        if (i >= n || !std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          return error("malformed exponent");
+        }
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      tokens.push_back({is_float ? TokenType::kFloatLiteral
+                                 : TokenType::kIntLiteral,
+                        sql.substr(start, i - start), start});
+      continue;
+    }
+    // String literals with '' escape.
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        text.push_back(sql[i++]);
+      }
+      if (i >= n) return error("unterminated string literal");
+      ++i;
+      tokens.push_back({TokenType::kStringLiteral, std::move(text), start});
+      continue;
+    }
+    // Multi-char symbols first.
+    auto two = i + 1 < n ? sql.substr(i, 2) : std::string();
+    if (two == "<<" || two == ">>" || two == "<=" || two == ">=" ||
+        two == "<>" || two == "!=" || two == "||") {
+      tokens.push_back({TokenType::kSymbol, two == "!=" ? "<>" : two, start});
+      i += 2;
+      continue;
+    }
+    static const std::string kSingles = "()[],;.*+-/%&|^~<>=";
+    if (kSingles.find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace qy::sql

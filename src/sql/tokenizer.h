@@ -1,0 +1,37 @@
+/// \file tokenizer.h
+/// SQL lexer. Produces a flat token stream for the recursive-descent parser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qy::sql {
+
+enum class TokenType {
+  kIdentifier,   ///< bare or "quoted" identifier (keywords resolved later)
+  kIntLiteral,   ///< decimal integer (may exceed int64 -> HUGEINT)
+  kFloatLiteral, ///< decimal with '.' or exponent
+  kStringLiteral,///< '...' with '' escaping
+  kSymbol,       ///< operator/punctuation, possibly multi-char (<<, >=, <>)
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;  ///< identifier spelled as written; symbol normalized
+  size_t offset;     ///< byte offset in the source, for error messages
+
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword test (only meaningful for identifiers).
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenize a SQL string. Supports `--` line comments and `/* */` block
+/// comments.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace qy::sql

@@ -1,0 +1,88 @@
+#include "sql/types.h"
+
+#include "common/strings.h"
+
+namespace qy::sql {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kBool: return "BOOLEAN";
+    case DataType::kBigInt: return "BIGINT";
+    case DataType::kHugeInt: return "HUGEINT";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kVarchar: return "VARCHAR";
+  }
+  return "?";
+}
+
+Result<DataType> ParseDataType(const std::string& name) {
+  std::string u = AsciiToUpper(name);
+  if (u == "BOOLEAN" || u == "BOOL") return DataType::kBool;
+  if (u == "BIGINT" || u == "INT" || u == "INTEGER" || u == "INT8" ||
+      u == "LONG") {
+    return DataType::kBigInt;
+  }
+  if (u == "HUGEINT" || u == "INT128") return DataType::kHugeInt;
+  if (u == "DOUBLE" || u == "REAL" || u == "FLOAT" || u == "FLOAT8") {
+    return DataType::kDouble;
+  }
+  if (u == "VARCHAR" || u == "TEXT" || u == "STRING" || u == "CHAR") {
+    return DataType::kVarchar;
+  }
+  return Status::ParseError("unknown type name: " + name);
+}
+
+namespace {
+int NumericRank(DataType t) {
+  switch (t) {
+    case DataType::kBool: return 0;
+    case DataType::kBigInt: return 1;
+    case DataType::kHugeInt: return 2;
+    case DataType::kDouble: return 3;
+    default: return -1;
+  }
+}
+}  // namespace
+
+Result<DataType> CommonNumericType(DataType a, DataType b) {
+  if (a == DataType::kVarchar && b == DataType::kVarchar) {
+    return DataType::kVarchar;
+  }
+  int ra = NumericRank(a), rb = NumericRank(b);
+  if (ra < 0 || rb < 0) {
+    return Status::BindError(std::string("no common numeric type for ") +
+                             DataTypeName(a) + " and " + DataTypeName(b));
+  }
+  DataType widest = ra >= rb ? a : b;
+  if (widest == DataType::kBool) widest = DataType::kBigInt;
+  return widest;
+}
+
+Result<DataType> CommonIntegerType(DataType a, DataType b) {
+  auto ok = [](DataType t) {
+    return t == DataType::kBool || t == DataType::kBigInt ||
+           t == DataType::kHugeInt;
+  };
+  if (!ok(a) || !ok(b)) {
+    return Status::BindError(std::string("bitwise operator requires integer "
+                                         "operands, got ") +
+                             DataTypeName(a) + " and " + DataTypeName(b));
+  }
+  if (a == DataType::kHugeInt || b == DataType::kHugeInt) {
+    return DataType::kHugeInt;
+  }
+  return DataType::kBigInt;
+}
+
+int TypeWidthBytes(DataType t) {
+  switch (t) {
+    case DataType::kBool: return 1;
+    case DataType::kBigInt: return 8;
+    case DataType::kHugeInt: return 16;
+    case DataType::kDouble: return 8;
+    case DataType::kVarchar: return 16;
+  }
+  return 8;
+}
+
+}  // namespace qy::sql

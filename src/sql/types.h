@@ -1,0 +1,51 @@
+/// \file types.h
+/// Logical SQL types of the relsql engine.
+///
+/// The Qymera workload needs: integer basis-state indices (BIGINT, and
+/// HUGEINT for > 62 qubits), DOUBLE amplitudes, VARCHAR for the string-encoded
+/// ablation, and BOOLEAN for predicates.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace qy::sql {
+
+enum class DataType {
+  kBool,
+  kBigInt,   ///< 64-bit signed integer
+  kHugeInt,  ///< 128-bit signed integer
+  kDouble,
+  kVarchar,
+};
+
+/// SQL spelling ("BIGINT", ...).
+const char* DataTypeName(DataType t);
+
+/// Parse a type name as used in CREATE TABLE (case-insensitive; accepts
+/// common aliases: INT/INTEGER->BIGINT, REAL/FLOAT->DOUBLE, TEXT/STRING->VARCHAR).
+Result<DataType> ParseDataType(const std::string& name);
+
+inline bool IsNumeric(DataType t) {
+  return t == DataType::kBigInt || t == DataType::kHugeInt ||
+         t == DataType::kDouble;
+}
+
+inline bool IsInteger(DataType t) {
+  return t == DataType::kBigInt || t == DataType::kHugeInt;
+}
+
+/// Common type for arithmetic/comparison following BIGINT < HUGEINT < DOUBLE.
+/// BOOL promotes to BIGINT in numeric contexts. VARCHAR only pairs with
+/// VARCHAR.
+Result<DataType> CommonNumericType(DataType a, DataType b);
+
+/// Common integer type for bitwise ops (BIGINT or HUGEINT).
+Result<DataType> CommonIntegerType(DataType a, DataType b);
+
+/// Fixed in-memory width used for memory accounting (VARCHAR counts header
+/// only; payload tracked separately).
+int TypeWidthBytes(DataType t);
+
+}  // namespace qy::sql

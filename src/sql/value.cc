@@ -1,0 +1,158 @@
+#include "sql/value.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace qy::sql {
+
+double Value::AsDouble() const {
+  switch (type_) {
+    case DataType::kBool: return bool_value() ? 1.0 : 0.0;
+    case DataType::kBigInt: return static_cast<double>(bigint_value());
+    case DataType::kHugeInt: return static_cast<double>(hugeint_value());
+    case DataType::kDouble: return double_value();
+    default: return 0.0;
+  }
+}
+
+int128_t Value::AsHugeInt() const {
+  switch (type_) {
+    case DataType::kBool: return bool_value() ? 1 : 0;
+    case DataType::kBigInt: return bigint_value();
+    case DataType::kHugeInt: return hugeint_value();
+    case DataType::kDouble: return static_cast<int128_t>(double_value());
+    default: return 0;
+  }
+}
+
+int64_t Value::AsBigInt() const {
+  return static_cast<int64_t>(AsHugeInt());
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (is_null()) return Value::Null(target);
+  if (target == type_) return *this;
+  switch (target) {
+    case DataType::kBool:
+      if (IsNumeric(type_)) return Value::Bool(AsDouble() != 0.0);
+      break;
+    case DataType::kBigInt: {
+      if (type_ == DataType::kVarchar) {
+        QY_ASSIGN_OR_RETURN(int128_t v, ParseInt128(varchar_value()));
+        return Value::BigInt(static_cast<int64_t>(v));
+      }
+      if (type_ == DataType::kHugeInt) {
+        int128_t v = hugeint_value();
+        if (v > static_cast<int128_t>(INT64_MAX) ||
+            v < static_cast<int128_t>(INT64_MIN)) {
+          return Status::InvalidArgument("HUGEINT out of BIGINT range: " +
+                                         Int128ToString(v));
+        }
+        return Value::BigInt(static_cast<int64_t>(v));
+      }
+      if (type_ == DataType::kDouble) {
+        return Value::BigInt(static_cast<int64_t>(std::llround(double_value())));
+      }
+      if (type_ == DataType::kBool) return Value::BigInt(bool_value() ? 1 : 0);
+      break;
+    }
+    case DataType::kHugeInt: {
+      if (type_ == DataType::kVarchar) {
+        QY_ASSIGN_OR_RETURN(int128_t v, ParseInt128(varchar_value()));
+        return Value::HugeInt(v);
+      }
+      if (IsNumeric(type_) || type_ == DataType::kBool) {
+        return Value::HugeInt(AsHugeInt());
+      }
+      break;
+    }
+    case DataType::kDouble:
+      if (type_ == DataType::kVarchar) {
+        try {
+          return Value::Double(std::stod(varchar_value()));
+        } catch (...) {
+          return Status::InvalidArgument("cannot cast '" + varchar_value() +
+                                         "' to DOUBLE");
+        }
+      }
+      if (IsNumeric(type_) || type_ == DataType::kBool) {
+        return Value::Double(AsDouble());
+      }
+      break;
+    case DataType::kVarchar: {
+      switch (type_) {
+        case DataType::kBool: return Value::Varchar(bool_value() ? "true" : "false");
+        case DataType::kBigInt: return Value::Varchar(std::to_string(bigint_value()));
+        case DataType::kHugeInt: return Value::Varchar(Int128ToString(hugeint_value()));
+        case DataType::kDouble: return Value::Varchar(DoubleToSql(double_value()));
+        default: break;
+      }
+      break;
+    }
+  }
+  return Status::InvalidArgument(std::string("unsupported cast from ") +
+                                 DataTypeName(type_) + " to " +
+                                 DataTypeName(target));
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  if (type_ == DataType::kVarchar || other.type_ == DataType::kVarchar) {
+    // VARCHAR only compares with VARCHAR; mixed treated via string form.
+    std::string a = type_ == DataType::kVarchar ? varchar_value() : ToString();
+    std::string b =
+        other.type_ == DataType::kVarchar ? other.varchar_value() : other.ToString();
+    return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);
+  }
+  if (type_ == DataType::kDouble || other.type_ == DataType::kDouble) {
+    double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a == b ? 0 : 1);
+  }
+  int128_t a = AsHugeInt(), b = other.AsHugeInt();
+  return a < b ? -1 : (a == b ? 0 : 1);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  switch (type_) {
+    case DataType::kBool: return bool_value() ? "true" : "false";
+    case DataType::kBigInt: return std::to_string(bigint_value());
+    case DataType::kHugeInt: return Int128ToString(hugeint_value());
+    case DataType::kDouble: return DoubleToSql(double_value());
+    case DataType::kVarchar: return "'" + varchar_value() + "'";
+  }
+  return "?";
+}
+
+uint64_t Value::Hash() const {
+  if (is_null()) return 0x9ae16a3b2f90404fULL;
+  switch (type_) {
+    case DataType::kBool: return bool_value() ? 1 : 2;
+    case DataType::kBigInt:
+      return HashUInt128(static_cast<uint128_t>(
+          static_cast<int128_t>(bigint_value())));
+    case DataType::kHugeInt:
+      return HashUInt128(static_cast<uint128_t>(hugeint_value()));
+    case DataType::kDouble: {
+      double d = double_value();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(d));
+      return HashUInt128(bits);
+    }
+    case DataType::kVarchar: {
+      uint64_t h = 1469598103934665603ULL;
+      for (char c : varchar_value()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+}  // namespace qy::sql

@@ -1,0 +1,71 @@
+/// \file value.h
+/// A single typed SQL value (used for literals, row access and generic paths;
+/// bulk execution works on ColumnVector instead).
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "common/int128.h"
+#include "sql/types.h"
+
+namespace qy::sql {
+
+/// Nullable tagged scalar. The type tag is kept even for NULLs so expressions
+/// stay typed.
+class Value {
+ public:
+  /// NULL of a given type.
+  static Value Null(DataType t) { return Value(t); }
+  static Value Bool(bool v) { return Value(DataType::kBool, v); }
+  static Value BigInt(int64_t v) { return Value(DataType::kBigInt, v); }
+  static Value HugeInt(int128_t v) { return Value(DataType::kHugeInt, v); }
+  static Value Double(double v) { return Value(DataType::kDouble, v); }
+  static Value Varchar(std::string v) {
+    return Value(DataType::kVarchar, std::move(v));
+  }
+
+  Value() : type_(DataType::kBigInt) {}
+
+  DataType type() const { return type_; }
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t bigint_value() const { return std::get<int64_t>(data_); }
+  int128_t hugeint_value() const { return std::get<int128_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& varchar_value() const { return std::get<std::string>(data_); }
+
+  /// Numeric widening accessors (BOOL/BIGINT/HUGEINT/DOUBLE). Callers must
+  /// check is_null() first.
+  double AsDouble() const;
+  int128_t AsHugeInt() const;
+  int64_t AsBigInt() const;
+
+  /// Cast to target type. Numeric narrowing checks range; VARCHAR parses.
+  Result<Value> CastTo(DataType target) const;
+
+  /// Total order used by ORDER BY / MIN / MAX: NULL first, then by value
+  /// (numeric compare across numeric types, lexicographic for VARCHAR).
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool Equals(const Value& other) const { return Compare(other) == 0; }
+
+  /// SQL-literal-ish rendering ("NULL", "42", "'abc'", "1.5").
+  std::string ToString() const;
+
+  /// Hash consistent with Equals for same-type values.
+  uint64_t Hash() const;
+
+ private:
+  explicit Value(DataType t) : type_(t), data_(std::monostate{}) {}
+  template <typename T>
+  Value(DataType t, T v) : type_(t), data_(std::move(v)) {}
+
+  DataType type_;
+  std::variant<std::monostate, bool, int64_t, int128_t, double, std::string>
+      data_;
+};
+
+}  // namespace qy::sql

@@ -1,0 +1,195 @@
+/// \file qymera_cli.cc
+/// Command-line front end — the programmatic counterpart of the paper's web
+/// UI layers (Fig. 1): circuit input via JSON file or built-in family,
+/// translation inspection, simulation on any backend, and benchmarking.
+///
+/// Usage:
+///   qymera translate <circuit.json | family:name:n>
+///   qymera run       <circuit.json | family:name:n> [--backend=B]
+///                    [--budget-mib=M] [--fuse=K] [--steps]
+///   qymera compare   <circuit.json | family:name:n> [--budget-mib=M]
+///   qymera families
+///
+/// Backends: qymera-sql statevector sparse mps dd sql-string sql-tensor
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+#include "bench/workloads.h"
+#include "circuit/json_io.h"
+#include "common/strings.h"
+#include "core/qymera_sim.h"
+
+namespace {
+
+using namespace qy;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: qymera <translate|run|compare|families> "
+               "[circuit.json | family:name:n] [options]\n"
+               "  --backend=NAME   (run) one of: qymera-sql statevector "
+               "sparse mps dd sql-string sql-tensor\n"
+               "  --budget-mib=M   memory budget\n"
+               "  --fuse=K         enable gate fusion up to K qubits\n"
+               "  --steps          print intermediate states (qymera-sql)\n");
+  return 2;
+}
+
+Result<qc::QuantumCircuit> LoadCircuit(const std::string& spec) {
+  if (spec.rfind("family:", 0) == 0) {
+    size_t second = spec.find(':', 7);
+    if (second == std::string::npos) {
+      return Status::InvalidArgument("family spec must be family:name:n");
+    }
+    std::string name = spec.substr(7, second - 7);
+    int n = std::atoi(spec.c_str() + second + 1);
+    QY_ASSIGN_OR_RETURN(bench::Workload workload, bench::FindWorkload(name));
+    return workload.make(n);
+  }
+  return qc::ReadCircuitFile(spec);
+}
+
+Result<bench::Backend> ParseBackend(const std::string& name) {
+  for (bench::Backend b :
+       {bench::Backend::kQymeraSql, bench::Backend::kStatevector,
+        bench::Backend::kSparse, bench::Backend::kMps, bench::Backend::kDd,
+        bench::Backend::kSqlString, bench::Backend::kSqlTensor}) {
+    if (name == bench::BackendName(b)) return b;
+  }
+  return Status::InvalidArgument("unknown backend: " + name);
+}
+
+struct CliOptions {
+  std::string backend = "qymera-sql";
+  uint64_t budget_mib = 0;
+  int fuse = 0;
+  bool steps = false;
+};
+
+CliOptions ParseFlags(int argc, char** argv, int first) {
+  CliOptions out;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--backend=", 0) == 0) out.backend = arg.substr(10);
+    else if (arg.rfind("--budget-mib=", 0) == 0)
+      out.budget_mib = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    else if (arg.rfind("--fuse=", 0) == 0) out.fuse = std::atoi(arg.c_str() + 7);
+    else if (arg == "--steps") out.steps = true;
+  }
+  return out;
+}
+
+int CmdFamilies() {
+  bench::TableReport report({"name", "kind", "example (n=8)"});
+  for (const bench::Workload& w : bench::StandardWorkloads()) {
+    qc::QuantumCircuit c = w.make(8);
+    report.AddRow({w.name, w.sparse ? "sparse" : "dense",
+                   std::to_string(c.NumGates()) + " gates, depth " +
+                       std::to_string(c.Depth())});
+  }
+  report.Print("built-in circuit families (use family:name:n)");
+  return 0;
+}
+
+int CmdTranslate(const qc::QuantumCircuit& circuit, const CliOptions& cli) {
+  core::QymeraOptions options;
+  if (cli.fuse > 0) {
+    options.enable_fusion = true;
+    options.fusion.max_qubits = cli.fuse;
+  }
+  core::QymeraSimulator simulator(options);
+  auto translation = simulator.Translate(circuit);
+  if (!translation.ok()) {
+    std::fprintf(stderr, "%s\n", translation.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- %d qubits, %zu gate tables, %zu steps, %s indices\n",
+              translation->num_qubits, translation->gate_tables.size(),
+              translation->steps.size(),
+              translation->use_hugeint ? "HUGEINT" : "BIGINT");
+  for (const auto& gate : translation->gate_tables) {
+    std::printf("CREATE TABLE %s (in_s BIGINT, out_s BIGINT, r DOUBLE, "
+                "i DOUBLE); -- %zu rows\n",
+                gate.table_name.c_str(), gate.rows.size());
+  }
+  std::printf("\n%s;\n", translation->single_query.c_str());
+  return 0;
+}
+
+int CmdRun(const qc::QuantumCircuit& circuit, const CliOptions& cli) {
+  auto backend = ParseBackend(cli.backend);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+    return 1;
+  }
+  sim::SimOptions options;
+  if (cli.budget_mib > 0) options.memory_budget_bytes = cli.budget_mib << 20;
+  core::QymeraOptions qopts;
+  if (cli.fuse > 0) {
+    qopts.enable_fusion = true;
+    qopts.fusion.max_qubits = cli.fuse;
+  }
+  auto simulator = bench::MakeSimulator(*backend, options, &qopts);
+  if (cli.steps && *backend == bench::Backend::kQymeraSql) {
+    auto* qymera = static_cast<core::QymeraSimulator*>(simulator.get());
+    qymera->set_step_callback(
+        [](size_t step, const qc::Gate& gate, const sim::SparseState& state) {
+          std::printf("after %-12s %s\n", gate.ToString().c_str(),
+                      state.ToString(6).c_str());
+          return Status::OK();
+        });
+  }
+  auto state = simulator->Run(circuit);
+  if (!state.ok()) {
+    std::fprintf(stderr, "%s\n", state.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", state->ToString(32).c_str());
+  const sim::SimMetrics& m = simulator->metrics();
+  std::printf("backend=%s time=%s peak=%s nnz=%zu %s=%llu\n",
+              simulator->name().c_str(),
+              bench::FormatSeconds(m.wall_seconds).c_str(),
+              bench::FormatBytes(m.peak_bytes).c_str(), state->NumNonZero(),
+              m.backend_stat_name.empty() ? "stat" : m.backend_stat_name.c_str(),
+              static_cast<unsigned long long>(m.backend_stat));
+  return 0;
+}
+
+int CmdCompare(const qc::QuantumCircuit& circuit, const CliOptions& cli) {
+  sim::SimOptions options;
+  if (cli.budget_mib > 0) options.memory_budget_bytes = cli.budget_mib << 20;
+  bench::TableReport report({"backend", "outcome", "time", "peak", "nnz"});
+  for (bench::Backend backend : bench::MainBackends()) {
+    bench::RunResult r = bench::RunSummaryOnly(backend, circuit, options);
+    report.AddRow({bench::BackendName(backend), r.ok ? "ok" : r.error,
+                   r.ok ? bench::FormatSeconds(r.seconds) : "",
+                   r.ok ? bench::FormatBytes(r.peak_bytes) : "",
+                   r.ok ? std::to_string(r.nnz) : ""});
+  }
+  report.Print("backend comparison: " + circuit.name());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  if (command == "families") return CmdFamilies();
+  if (argc < 3) return Usage();
+  auto circuit = LoadCircuit(argv[2]);
+  if (!circuit.ok()) {
+    std::fprintf(stderr, "cannot load circuit: %s\n",
+                 circuit.status().ToString().c_str());
+    return 1;
+  }
+  CliOptions cli = ParseFlags(argc, argv, 3);
+  if (command == "translate") return CmdTranslate(*circuit, cli);
+  if (command == "run") return CmdRun(*circuit, cli);
+  if (command == "compare") return CmdCompare(*circuit, cli);
+  return Usage();
+}

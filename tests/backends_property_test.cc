@@ -1,0 +1,148 @@
+/// Cross-backend property tests: all simulation methods — the four baselines
+/// and the three SQL encodings — must produce the same quantum state for the
+/// same circuit (up to 1e-9 amplitude-wise, no global-phase slack since all
+/// backends apply identical matrices).
+#include <gtest/gtest.h>
+
+#include "bench/runner.h"
+#include "circuit/families.h"
+#include "sim/statevector.h"
+
+namespace qy {
+namespace {
+
+using bench::Backend;
+using sim::SparseState;
+
+struct Case {
+  std::string label;
+  qc::QuantumCircuit circuit;
+};
+
+std::vector<Case> PropertyCircuits() {
+  std::vector<Case> cases;
+  for (int n : {2, 3, 5}) {
+    cases.push_back({"ghz" + std::to_string(n), qc::Ghz(n)});
+  }
+  cases.push_back({"superposition4", qc::EqualSuperposition(4)});
+  cases.push_back({"qft5", qc::Qft(5)});
+  cases.push_back({"w5", qc::WState(5)});
+  cases.push_back({"roundtrip6", qc::GhzRoundTrip(6)});
+  cases.push_back({"parity", qc::ParityCheck({1, 0, 1, 1})});
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    cases.push_back({"dense6_s" + std::to_string(seed),
+                     qc::RandomDense(6, 3, seed)});
+  }
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    cases.push_back({"sparse7_s" + std::to_string(seed),
+                     qc::RandomSparse(7, 50, seed, 2)});
+  }
+  cases.push_back({"sparse_phase8", qc::SparsePhase(8, 30, 31)});
+  cases.push_back({"hea5", qc::HardwareEfficientAnsatz(5, 2, 41)});
+  return cases;
+}
+
+class BackendAgreementTest
+    : public ::testing::TestWithParam<std::tuple<Backend, int>> {};
+
+TEST_P(BackendAgreementTest, MatchesStatevectorReference) {
+  auto [backend, case_idx] = GetParam();
+  Case test_case = PropertyCircuits()[case_idx];
+  sim::StatevectorSimulator reference;
+  auto expect = reference.Run(test_case.circuit);
+  ASSERT_TRUE(expect.ok()) << expect.status().ToString();
+
+  sim::SimOptions options;
+  auto simulator = bench::MakeSimulator(backend, options);
+  auto got = simulator->Run(test_case.circuit);
+  ASSERT_TRUE(got.ok()) << simulator->name() << " on " << test_case.label
+                        << ": " << got.status().ToString();
+  double diff = SparseState::MaxAmplitudeDiff(*expect, *got);
+  EXPECT_LT(diff, 1e-9) << simulator->name() << " diverges on "
+                        << test_case.label;
+  EXPECT_NEAR(got->NormSquared(), 1.0, 1e-9);
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<Backend, int>>& info) {
+  std::string backend = bench::BackendName(std::get<0>(info.param));
+  for (char& c : backend) {
+    if (c == '-') c = '_';
+  }
+  return backend + "_" + PropertyCircuits()[std::get<1>(info.param)].label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAllCircuits, BackendAgreementTest,
+    ::testing::Combine(
+        ::testing::Values(Backend::kQymeraSql, Backend::kStatevector,
+                          Backend::kSparse, Backend::kMps, Backend::kDd,
+                          Backend::kSqlString, Backend::kSqlTensor),
+        ::testing::Range(0, static_cast<int>(PropertyCircuits().size()))),
+    CaseName);
+
+// ---------------------------------------------------------------------------
+// Qymera execution-mode / fusion equivalence sweep
+// ---------------------------------------------------------------------------
+
+class QymeraVariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QymeraVariantTest, AllVariantsAgree) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  qc::QuantumCircuit circuit = qc::RandomDense(5, 3, seed);
+  sim::StatevectorSimulator reference;
+  auto expect = reference.Run(circuit);
+  ASSERT_TRUE(expect.ok());
+
+  for (auto mode : {core::QymeraOptions::Mode::kMaterializedSteps,
+                    core::QymeraOptions::Mode::kSingleQuery}) {
+    for (bool fusion : {false, true}) {
+      for (bool hugeint : {false, true}) {
+        core::QymeraOptions options;
+        options.mode = mode;
+        options.enable_fusion = fusion;
+        options.fusion.max_qubits = 3;
+        options.force_hugeint = hugeint;
+        core::QymeraSimulator simulator(options);
+        auto got = simulator.Run(circuit);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        EXPECT_LT(SparseState::MaxAmplitudeDiff(*expect, *got), 1e-9)
+            << "mode=" << static_cast<int>(mode) << " fusion=" << fusion
+            << " hugeint=" << hugeint << " seed=" << seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QymeraVariantTest, ::testing::Range(100, 106));
+
+// ---------------------------------------------------------------------------
+// Norm preservation under unitary evolution (all backends)
+// ---------------------------------------------------------------------------
+
+class NormPreservationTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(NormPreservationTest, RandomCircuitKeepsNormOne) {
+  sim::SimOptions options;
+  auto simulator = bench::MakeSimulator(GetParam(), options);
+  for (uint64_t seed : {7u, 8u}) {
+    auto state = simulator->Run(qc::RandomDense(5, 4, seed));
+    ASSERT_TRUE(state.ok()) << state.status().ToString();
+    EXPECT_NEAR(state->NormSquared(), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, NormPreservationTest,
+    ::testing::Values(Backend::kQymeraSql, Backend::kStatevector,
+                      Backend::kSparse, Backend::kMps, Backend::kDd),
+    [](const ::testing::TestParamInfo<Backend>& info) {
+      std::string name = bench::BackendName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace qy

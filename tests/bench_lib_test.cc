@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "bench/report.h"
+#include "bench/runner.h"
+#include "bench/workloads.h"
+#include "circuit/families.h"
+#include "sim/statevector.h"
+
+namespace qy::bench {
+namespace {
+
+TEST(WorkloadsTest, StandardSetCoversSparseAndDense) {
+  auto workloads = StandardWorkloads();
+  ASSERT_GE(workloads.size(), 6u);
+  bool has_sparse = false, has_dense = false;
+  for (const Workload& w : workloads) {
+    qc::QuantumCircuit c = w.make(5);
+    EXPECT_TRUE(c.status().ok()) << w.name;
+    EXPECT_EQ(c.num_qubits() >= 5, true) << w.name;
+    has_sparse |= w.sparse;
+    has_dense |= !w.sparse;
+  }
+  EXPECT_TRUE(has_sparse);
+  EXPECT_TRUE(has_dense);
+}
+
+TEST(WorkloadsTest, FindByName) {
+  EXPECT_TRUE(FindWorkload("ghz").ok());
+  EXPECT_TRUE(FindWorkload("superposition").ok());
+  EXPECT_FALSE(FindWorkload("nope").ok());
+}
+
+TEST(WorkloadsTest, SparsityClassificationIsAccurate) {
+  sim::StatevectorSimulator sim;
+  for (const Workload& w : StandardWorkloads()) {
+    auto state = sim.Run(w.make(8));
+    ASSERT_TRUE(state.ok()) << w.name;
+    if (w.sparse) {
+      EXPECT_LE(state->NumNonZero(), 32u) << w.name;
+    } else {
+      EXPECT_GT(state->NumNonZero(), 64u) << w.name;
+    }
+  }
+}
+
+TEST(RunnerTest, RunOnceAllBackends) {
+  sim::SimOptions options;
+  for (Backend backend : MainBackends()) {
+    RunResult r = RunOnce(backend, qc::Ghz(4), options);
+    EXPECT_TRUE(r.ok) << BackendName(backend) << ": " << r.error;
+    EXPECT_EQ(r.nnz, 2u) << BackendName(backend);
+    EXPECT_NEAR(r.norm_squared, 1.0, 1e-9) << BackendName(backend);
+  }
+}
+
+TEST(RunnerTest, RunOnceReportsFailure) {
+  sim::SimOptions options;
+  options.memory_budget_bytes = 1 << 16;
+  RunResult r = RunOnce(Backend::kStatevector, qc::Ghz(20), options);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("OutOfMemory"), std::string::npos);
+}
+
+TEST(RunnerTest, SummaryOnlySkipsClientMaterialization) {
+  sim::SimOptions options;
+  RunResult r = RunSummaryOnly(Backend::kQymeraSql, qc::EqualSuperposition(8),
+                               options);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.nnz, 256u);
+}
+
+TEST(RunnerTest, MaxQubitsMatchesStatevectorFormula) {
+  uint64_t budget = 8 << 20;  // 8 MiB -> 2^19 amplitudes -> 19 qubits
+  int expect = sim::StatevectorSimulator::MaxQubitsForBudget(budget);
+  int got = MaxQubitsUnderBudget(
+      Backend::kStatevector, [](int n) { return qc::Ghz(n); }, budget,
+      /*lo=*/4, /*hi=*/24);
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(expect, 19);
+}
+
+TEST(RunnerTest, MaxQubitsReturnsBelowLoWhenNothingFits) {
+  int got = MaxQubitsUnderBudget(
+      Backend::kStatevector, [](int n) { return qc::Ghz(n); }, /*budget=*/64,
+      /*lo=*/4, /*hi=*/8);
+  EXPECT_EQ(got, 3);
+}
+
+TEST(ReportTest, TableAlignsColumns) {
+  TableReport report({"backend", "time"});
+  report.AddRow({"statevector", "1.0 ms"});
+  report.AddRow({"qymera-sql", "12.5 ms"});
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("backend      time"), std::string::npos);
+  EXPECT_NE(text.find("-------"), std::string::npos);
+}
+
+TEST(ReportTest, CsvEscapesCells) {
+  TableReport report({"a", "b"});
+  report.AddRow({"x,y", "He said \"hi\""});
+  std::string csv = report.ToCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"He said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(FormatSeconds(0.5e-6 * 20), "10.0 us");
+  EXPECT_EQ(FormatSeconds(0.002), "2.00 ms");
+  EXPECT_EQ(FormatSeconds(3.5), "3.50 s");
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(2ull << 30), "2.0 GiB");
+}
+
+}  // namespace
+}  // namespace qy::bench

@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "circuit/circuit.h"
+#include "circuit/decompose.h"
+#include "circuit/families.h"
+#include "circuit/json_io.h"
+#include "circuit/parameter.h"
+#include "sim/statevector.h"
+
+namespace qy::qc {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// ---------------------------------------------------------------------------
+// Gate matrices
+// ---------------------------------------------------------------------------
+
+TEST(GateTest, AllStandardGatesAreUnitary) {
+  std::vector<Gate> gates = {
+      {GateType::kI, {0}, {}, {}, ""},      {GateType::kH, {0}, {}, {}, ""},
+      {GateType::kX, {0}, {}, {}, ""},      {GateType::kY, {0}, {}, {}, ""},
+      {GateType::kZ, {0}, {}, {}, ""},      {GateType::kS, {0}, {}, {}, ""},
+      {GateType::kSdg, {0}, {}, {}, ""},    {GateType::kT, {0}, {}, {}, ""},
+      {GateType::kTdg, {0}, {}, {}, ""},    {GateType::kSX, {0}, {}, {}, ""},
+      {GateType::kRX, {0}, {0.3}, {}, ""},  {GateType::kRY, {0}, {1.1}, {}, ""},
+      {GateType::kRZ, {0}, {-2.0}, {}, ""}, {GateType::kP, {0}, {0.7}, {}, ""},
+      {GateType::kU, {0}, {0.3, 0.6, 0.9}, {}, ""},
+      {GateType::kCX, {0, 1}, {}, {}, ""},  {GateType::kCY, {0, 1}, {}, {}, ""},
+      {GateType::kCZ, {0, 1}, {}, {}, ""},  {GateType::kCP, {0, 1}, {0.4}, {}, ""},
+      {GateType::kSwap, {0, 1}, {}, {}, ""},
+      {GateType::kCCX, {0, 1, 2}, {}, {}, ""},
+      {GateType::kCSwap, {0, 1, 2}, {}, {}, ""},
+  };
+  for (const Gate& g : gates) {
+    auto m = MatrixForGate(g);
+    ASSERT_TRUE(m.ok()) << g.ToString();
+    EXPECT_LT(UnitarityError(*m), kTol) << g.ToString();
+  }
+}
+
+TEST(GateTest, CxMatrixMatchesPaperTable) {
+  // Fig. 2b: CX rows (in_s -> out_s): 0->0, 1->3, 2->2, 3->1 all with 1.0.
+  auto m = MatrixForGate({GateType::kCX, {0, 1}, {}, {}, ""});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->At(0, 0), Complex(1, 0));
+  EXPECT_EQ(m->At(3, 1), Complex(1, 0));
+  EXPECT_EQ(m->At(2, 2), Complex(1, 0));
+  EXPECT_EQ(m->At(1, 3), Complex(1, 0));
+  EXPECT_EQ(m->At(1, 1), Complex(0, 0));
+}
+
+TEST(GateTest, HMatrixMatchesPaper) {
+  auto m = MatrixForGate({GateType::kH, {0}, {}, {}, ""});
+  ASSERT_TRUE(m.ok());
+  double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(m->At(0, 0).real(), inv_sqrt2, kTol);
+  EXPECT_NEAR(m->At(1, 1).real(), -inv_sqrt2, kTol);
+}
+
+TEST(GateTest, ParamCountValidated) {
+  EXPECT_FALSE(MatrixForGate({GateType::kRX, {0}, {}, {}, ""}).ok());
+  EXPECT_FALSE(MatrixForGate({GateType::kH, {0}, {0.5}, {}, ""}).ok());
+  EXPECT_FALSE(MatrixForGate({GateType::kU, {0}, {0.1}, {}, ""}).ok());
+}
+
+TEST(GateTest, CustomGateValidation) {
+  // Non-unitary matrix rejected.
+  Gate bad{GateType::kCustom, {0}, {}, {Complex(1, 0), Complex(0, 0),
+                                        Complex(0, 0), Complex(2, 0)}, ""};
+  auto m = MatrixForGate(bad);
+  EXPECT_FALSE(m.ok());
+  // Wrong-size matrix rejected.
+  Gate odd{GateType::kCustom, {0}, {}, {Complex(1, 0), Complex(0, 0),
+                                        Complex(0, 0)}, ""};
+  EXPECT_FALSE(MatrixForGate(odd).ok());
+}
+
+TEST(GateTest, ParseGateNamesAndAliases) {
+  EXPECT_EQ(ParseGateType("CNOT").value(), GateType::kCX);
+  EXPECT_EQ(ParseGateType("toffoli").value(), GateType::kCCX);
+  EXPECT_EQ(ParseGateType("h").value(), GateType::kH);
+  EXPECT_FALSE(ParseGateType("frobnicate").ok());
+}
+
+TEST(GateTest, EmbedMatrixIdentityOnRest) {
+  // Embed X acting on position 1 of a 2-qubit space: X (x) I.
+  auto x = MatrixForGate({GateType::kX, {0}, {}, {}, ""});
+  GateMatrix embedded = EmbedMatrix(*x, {1}, 2);
+  EXPECT_EQ(embedded.dim, 4);
+  // |00> -> |10>: column 0 row 2.
+  EXPECT_EQ(embedded.At(2, 0), Complex(1, 0));
+  EXPECT_EQ(embedded.At(3, 1), Complex(1, 0));
+  EXPECT_LT(UnitarityError(embedded), kTol);
+}
+
+TEST(GateTest, MatMulComposesCorrectly) {
+  auto h = MatrixForGate({GateType::kH, {0}, {}, {}, ""});
+  GateMatrix hh = MatMul(*h, *h);
+  EXPECT_NEAR(std::abs(hh.At(0, 0) - Complex(1, 0)), 0, kTol);
+  EXPECT_NEAR(std::abs(hh.At(0, 1)), 0, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// QuantumCircuit
+// ---------------------------------------------------------------------------
+
+TEST(CircuitTest, BuilderChainsAndValidates) {
+  QuantumCircuit c(3);
+  c.H(0).CX(0, 1).CX(1, 2);
+  EXPECT_TRUE(c.status().ok());
+  EXPECT_EQ(c.NumGates(), 3u);
+}
+
+TEST(CircuitTest, QubitRangeChecked) {
+  QuantumCircuit c(2);
+  c.H(5);
+  EXPECT_FALSE(c.status().ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CircuitTest, DuplicateQubitRejected) {
+  QuantumCircuit c(3);
+  c.CX(1, 1);
+  EXPECT_FALSE(c.status().ok());
+}
+
+TEST(CircuitTest, FirstErrorLatched) {
+  QuantumCircuit c(2);
+  c.H(9).X(0);
+  EXPECT_FALSE(c.status().ok());
+  EXPECT_EQ(c.NumGates(), 1u);  // the valid X still applied
+}
+
+TEST(CircuitTest, WidthLimits) {
+  EXPECT_FALSE(QuantumCircuit(0).status().ok());
+  EXPECT_FALSE(QuantumCircuit(127).status().ok());
+  EXPECT_TRUE(QuantumCircuit(126).status().ok());
+}
+
+TEST(CircuitTest, DepthComputation) {
+  QuantumCircuit c(3);
+  c.H(0).H(1).H(2);       // depth 1 (parallel)
+  EXPECT_EQ(c.Depth(), 1);
+  c.CX(0, 1);             // depth 2
+  c.CX(1, 2);             // depth 3
+  c.X(0);                 // fits at level 3
+  EXPECT_EQ(c.Depth(), 3);
+}
+
+TEST(CircuitTest, GateCountsAndTwoQubit) {
+  QuantumCircuit c = Ghz(4);
+  auto counts = c.GateCounts();
+  EXPECT_EQ(counts["h"], 1);
+  EXPECT_EQ(counts["cx"], 3);
+  EXPECT_EQ(c.TwoQubitGateCount(), 3);
+}
+
+TEST(CircuitTest, ComposeAppends) {
+  QuantumCircuit a = Ghz(3);
+  QuantumCircuit b(3);
+  b.Compose(a).Compose(a);
+  EXPECT_EQ(b.NumGates(), 2 * a.NumGates());
+  EXPECT_TRUE(b.status().ok());
+}
+
+TEST(CircuitTest, AsciiRenderingMentionsEveryWire) {
+  std::string art = Ghz(3).ToAscii();
+  EXPECT_NE(art.find("q0"), std::string::npos);
+  EXPECT_NE(art.find("q2"), std::string::npos);
+  EXPECT_NE(art.find("H"), std::string::npos);
+  EXPECT_NE(art.find("*"), std::string::npos);  // CX control dot
+}
+
+TEST(CircuitTest, CryMatchesControlledRotation) {
+  // CRY decomposition must equal the 4x4 controlled-RY matrix.
+  sim::StatevectorSimulator sim;
+  for (double theta : {0.3, 1.7, -0.9}) {
+    QuantumCircuit decomposed(2);
+    decomposed.X(0);  // set control
+    decomposed.CRY(theta, 0, 1);
+    auto state = sim.Run(decomposed);
+    ASSERT_TRUE(state.ok());
+    // Control=1: target rotated by RY(theta): amp(|01>)=cos(t/2),
+    // amp(|11>)=sin(t/2) with qubit0=control.
+    EXPECT_NEAR(std::abs(state->Amplitude(1) - Complex(std::cos(theta / 2), 0)),
+                0, 1e-12);
+    EXPECT_NEAR(std::abs(state->Amplitude(3) - Complex(std::sin(theta / 2), 0)),
+                0, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Families
+// ---------------------------------------------------------------------------
+
+TEST(FamiliesTest, GhzShape) {
+  QuantumCircuit c = Ghz(5);
+  EXPECT_EQ(c.num_qubits(), 5);
+  EXPECT_EQ(c.NumGates(), 5u);
+  EXPECT_TRUE(c.status().ok());
+}
+
+TEST(FamiliesTest, ParityCheckComputesParity) {
+  sim::StatevectorSimulator sim;
+  for (std::vector<int> bits : {std::vector<int>{1, 0, 1},
+                                std::vector<int>{1, 1, 1},
+                                std::vector<int>{0, 0, 0}}) {
+    auto state = sim.Run(ParityCheck(bits));
+    ASSERT_TRUE(state.ok());
+    ASSERT_EQ(state->NumNonZero(), 1u);
+    int expected_parity = 0;
+    for (int b : bits) expected_parity ^= b;
+    int ancilla = static_cast<int>(bits.size());
+    EXPECT_EQ(state->MarginalProbability(ancilla),
+              expected_parity ? 1.0 : 0.0);
+  }
+}
+
+TEST(FamiliesTest, WStateHasUniformSingleExcitations) {
+  sim::StatevectorSimulator sim;
+  auto state = sim.Run(WState(5));
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state->NumNonZero(), 5u);
+  for (const auto& [idx, amp] : state->amplitudes()) {
+    // Each term is a single excitation with amplitude 1/sqrt(5).
+    EXPECT_EQ(__builtin_popcountll(static_cast<uint64_t>(idx)), 1);
+    EXPECT_NEAR(std::abs(amp), 1.0 / std::sqrt(5.0), 1e-12);
+  }
+}
+
+TEST(FamiliesTest, QftOfZeroIsUniform) {
+  sim::StatevectorSimulator sim;
+  auto state = sim.Run(Qft(4));
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->NumNonZero(), 16u);
+  for (const auto& [idx, amp] : state->amplitudes()) {
+    EXPECT_NEAR(std::abs(amp), 0.25, 1e-12);
+  }
+}
+
+TEST(FamiliesTest, GhzRoundTripReturnsToZero) {
+  sim::StatevectorSimulator sim;
+  auto state = sim.Run(GhzRoundTrip(6));
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state->NumNonZero(), 1u);
+  EXPECT_NEAR(std::abs(state->Amplitude(0) - Complex(1, 0)), 0, 1e-12);
+}
+
+TEST(FamiliesTest, RandomSparseKeepsSparsity) {
+  sim::StatevectorSimulator sim;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto state = sim.Run(RandomSparse(8, 60, seed, 3));
+    ASSERT_TRUE(state.ok());
+    // 3 superposed qubits -> at most 8 nonzero amplitudes forever.
+    EXPECT_LE(state->NumNonZero(), 8u);
+  }
+}
+
+TEST(FamiliesTest, RandomDenseIsDeterministicPerSeed) {
+  auto a = RandomDense(5, 3, 99);
+  auto b = RandomDense(5, 3, 99);
+  ASSERT_EQ(a.NumGates(), b.NumGates());
+  for (size_t i = 0; i < a.NumGates(); ++i) {
+    EXPECT_EQ(a.gates()[i].ToString(), b.gates()[i].ToString());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decomposition
+// ---------------------------------------------------------------------------
+
+TEST(DecomposeTest, ToffoliAndFredkinEquivalence) {
+  sim::StatevectorSimulator sim;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    QuantumCircuit c = RandomSparse(5, 30, seed, 2);  // includes CCX gates
+    auto lowered = DecomposeToTwoQubit(c);
+    ASSERT_TRUE(lowered.ok());
+    for (const Gate& g : lowered->gates()) {
+      EXPECT_LE(g.qubits.size(), 2u);
+    }
+    auto a = sim.Run(c);
+    auto b = sim.Run(*lowered);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_LT(sim::SparseState::MaxAmplitudeDiff(*a, *b), 1e-9);
+  }
+}
+
+TEST(DecomposeTest, RejectsWideCustomGates) {
+  QuantumCircuit c(3);
+  auto id8 = IdentityMatrix(3);
+  c.Unitary(id8.m, {0, 1, 2});
+  ASSERT_TRUE(c.status().ok());
+  EXPECT_EQ(DecomposeToTwoQubit(c).status().code(), StatusCode::kUnsupported);
+}
+
+// ---------------------------------------------------------------------------
+// JSON I/O
+// ---------------------------------------------------------------------------
+
+TEST(CircuitJsonTest, RoundTripPreservesCircuit) {
+  QuantumCircuit c(3, "mix");
+  c.H(0).CX(0, 1).RZ(0.25, 2).U(0.1, 0.2, 0.3, 1);
+  auto id = IdentityMatrix(1);
+  c.Unitary(id.m, {2}, "custom_id");
+  ASSERT_TRUE(c.status().ok());
+  auto back = CircuitFromJson(CircuitToJson(c));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->name(), "mix");
+  ASSERT_EQ(back->NumGates(), c.NumGates());
+  for (size_t i = 0; i < c.NumGates(); ++i) {
+    EXPECT_EQ(back->gates()[i].ToString(), c.gates()[i].ToString());
+  }
+}
+
+TEST(CircuitJsonTest, ParsesHandWrittenDocument) {
+  auto c = CircuitFromJson(R"({
+    "num_qubits": 2,
+    "gates": [
+      {"gate": "h", "qubits": [0]},
+      {"gate": "cnot", "qubits": [0, 1]}
+    ]
+  })");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->NumGates(), 2u);
+  EXPECT_EQ(c->gates()[1].type, GateType::kCX);
+}
+
+TEST(CircuitJsonTest, RejectsInvalidDocuments) {
+  EXPECT_FALSE(CircuitFromJson("[]").ok());
+  EXPECT_FALSE(CircuitFromJson(R"({"gates": []})").ok());  // no num_qubits
+  EXPECT_FALSE(CircuitFromJson(R"({"num_qubits": 2})").ok());  // no gates
+  EXPECT_FALSE(
+      CircuitFromJson(R"({"num_qubits": 2, "gates": [{"gate": "zz"}]})").ok());
+  EXPECT_FALSE(CircuitFromJson(
+                   R"({"num_qubits": 1, "gates": [{"gate": "h", "qubits": [4]}]})")
+                   .ok());
+}
+
+TEST(CircuitJsonTest, FileRoundTrip) {
+  QuantumCircuit c = Ghz(4);
+  std::string path = ::testing::TempDir() + "/ghz4.json";
+  ASSERT_TRUE(WriteCircuitFile(c, path).ok());
+  auto back = ReadCircuitFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumGates(), c.NumGates());
+  EXPECT_FALSE(ReadCircuitFile("/nonexistent/file.json").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized circuits
+// ---------------------------------------------------------------------------
+
+TEST(ParameterTest, BindSubstitutesLinearExpressions) {
+  ParameterizedCircuit pc(1, "rot");
+  pc.RX(ParamExpr{"theta", 2.0, 0.5}, 0);
+  auto bound = pc.Bind({{"theta", 1.0}});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(bound->gates()[0].params[0], 2.5);
+}
+
+TEST(ParameterTest, UnboundParameterFails) {
+  ParameterizedCircuit pc(1);
+  pc.RY(ParamExpr{"phi"}, 0);
+  EXPECT_FALSE(pc.Bind({}).ok());
+  EXPECT_EQ(pc.ParameterNames(), std::vector<std::string>{"phi"});
+}
+
+TEST(ParameterTest, SweepProducesFamily) {
+  ParameterizedCircuit pc(2, "ansatz");
+  pc.H(0);
+  pc.RZ(ParamExpr{"theta"}, 0);
+  pc.CX(0, 1);
+  auto family = pc.Sweep("theta", {0.0, 0.5, 1.0});
+  ASSERT_TRUE(family.ok());
+  ASSERT_EQ(family->size(), 3u);
+  EXPECT_DOUBLE_EQ((*family)[2].gates()[1].params[0], 1.0);
+}
+
+TEST(ParameterTest, MixedConcreteAndSymbolic) {
+  ParameterizedCircuit pc(1);
+  pc.RX(0.25, 0);
+  pc.RX(ParamExpr{"a"}, 0);
+  auto bound = pc.Bind({{"a", 0.75}});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(bound->gates()[0].params[0], 0.25);
+  EXPECT_DOUBLE_EQ(bound->gates()[1].params[0], 0.75);
+}
+
+}  // namespace
+}  // namespace qy::qc

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/int128.h"
+#include "common/memory_tracker.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include <filesystem>
+
+#include "common/temp_file.h"
+
+namespace qy {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad qubit");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad qubit");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad qubit");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfMemory), "OutOfMemory");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubler(Result<int> in) {
+  QY_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  EXPECT_EQ(Doubler(Status::Internal("x")).status().code(),
+            StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// int128
+// ---------------------------------------------------------------------------
+
+TEST(Int128Test, ToStringBasics) {
+  EXPECT_EQ(Int128ToString(0), "0");
+  EXPECT_EQ(Int128ToString(42), "42");
+  EXPECT_EQ(Int128ToString(-42), "-42");
+  EXPECT_EQ(Int128ToString(static_cast<int128_t>(INT64_MAX)),
+            "9223372036854775807");
+}
+
+TEST(Int128Test, ToStringWide) {
+  int128_t v = static_cast<int128_t>(1) << 100;
+  EXPECT_EQ(Int128ToString(v), "1267650600228229401496703205376");
+  EXPECT_EQ(Int128ToString(-v), "-1267650600228229401496703205376");
+}
+
+TEST(Int128Test, ParseRoundTrip) {
+  for (int128_t v : {static_cast<int128_t>(0), static_cast<int128_t>(-1),
+                     static_cast<int128_t>(INT64_MAX),
+                     static_cast<int128_t>(1) << 120}) {
+    auto parsed = ParseInt128(Int128ToString(v));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.value() == v);
+  }
+}
+
+TEST(Int128Test, ParseMin) {
+  // INT128_MIN must round-trip.
+  auto parsed = ParseInt128("-170141183460469231731687303715884105728");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(Int128ToString(parsed.value()),
+            "-170141183460469231731687303715884105728");
+}
+
+TEST(Int128Test, ParseRejectsOverflow) {
+  EXPECT_FALSE(ParseInt128("170141183460469231731687303715884105728").ok());
+  EXPECT_FALSE(ParseInt128("999999999999999999999999999999999999999").ok());
+}
+
+TEST(Int128Test, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseInt128("").ok());
+  EXPECT_FALSE(ParseInt128("-").ok());
+  EXPECT_FALSE(ParseInt128("12x4").ok());
+}
+
+TEST(Int128Test, HashDistinguishesSignBit) {
+  // The regression that motivated avalanche hashing of doubles: values that
+  // differ only in the top bit must hash differently.
+  uint128_t a = 1, b = a | (static_cast<uint128_t>(1) << 127);
+  EXPECT_NE(HashUInt128(a), HashUInt128(b));
+}
+
+// ---------------------------------------------------------------------------
+// bitops
+// ---------------------------------------------------------------------------
+
+TEST(BitopsTest, GetSetBit) {
+  BasisIndex s = 0;
+  s = SetBit(s, 3, 1);
+  EXPECT_EQ(GetBit(s, 3), 1u);
+  EXPECT_EQ(GetBit(s, 2), 0u);
+  s = SetBit(s, 3, 0);
+  EXPECT_EQ(GetBit(s, 3), 0u);
+}
+
+TEST(BitopsTest, GatherScatterPaperExample) {
+  // Fig. 2: gate on qubits {1, 2}: in_s = (s >> 1) & 3.
+  std::vector<int> qubits = {1, 2};
+  EXPECT_EQ(GatherBits(BasisIndex{0b110}, qubits), 0b11u);
+  EXPECT_EQ(GatherBits(BasisIndex{0b010}, qubits), 0b01u);
+  EXPECT_EQ(ScatterBits(0b11, qubits), BasisIndex{0b110});
+}
+
+TEST(BitopsTest, GatherHandlesArbitraryOrder) {
+  // CX with control=2, target=0: local bit0 = qubit 2.
+  std::vector<int> qubits = {2, 0};
+  EXPECT_EQ(GatherBits(BasisIndex{0b100}, qubits), 0b01u);
+  EXPECT_EQ(GatherBits(BasisIndex{0b001}, qubits), 0b10u);
+}
+
+TEST(BitopsTest, GatherScatterRoundTripProperty) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random distinct qubit set within 120 bits.
+    std::vector<int> qubits;
+    int k = static_cast<int>(rng.UniformInt(1, 5));
+    while (static_cast<int>(qubits.size()) < k) {
+      int q = static_cast<int>(rng.UniformInt(0, 119));
+      bool dup = false;
+      for (int existing : qubits) dup |= existing == q;
+      if (!dup) qubits.push_back(q);
+    }
+    uint64_t local = static_cast<uint64_t>(rng.UniformInt(0, (1 << k) - 1));
+    EXPECT_EQ(GatherBits(ScatterBits(local, qubits), qubits), local);
+  }
+}
+
+TEST(BitopsTest, QubitMaskAndContiguity) {
+  EXPECT_EQ(QubitMask({0, 1}), BasisIndex{3});
+  EXPECT_EQ(QubitMask({1, 2}), BasisIndex{6});
+  EXPECT_TRUE(IsContiguousAscending({1, 2, 3}));
+  EXPECT_FALSE(IsContiguousAscending({1, 3}));
+  EXPECT_FALSE(IsContiguousAscending({2, 1}));
+  EXPECT_FALSE(IsContiguousAscending({}));
+}
+
+TEST(BitopsTest, WorksBeyond64Bits) {
+  std::vector<int> qubits = {100, 5};
+  BasisIndex s = ScatterBits(0b01, qubits);
+  EXPECT_EQ(GetBit(s, 100), 1u);
+  EXPECT_EQ(GetBit(s, 5), 0u);
+  EXPECT_EQ(GatherBits(s, qubits), 0b01u);
+}
+
+// ---------------------------------------------------------------------------
+// MemoryTracker
+// ---------------------------------------------------------------------------
+
+TEST(MemoryTrackerTest, TracksUsageAndPeak) {
+  MemoryTracker t;
+  ASSERT_TRUE(t.Reserve(100).ok());
+  ASSERT_TRUE(t.Reserve(50).ok());
+  EXPECT_EQ(t.used(), 150u);
+  t.Release(120);
+  EXPECT_EQ(t.used(), 30u);
+  EXPECT_EQ(t.peak(), 150u);
+}
+
+TEST(MemoryTrackerTest, EnforcesBudget) {
+  MemoryTracker t(100);
+  ASSERT_TRUE(t.Reserve(80).ok());
+  Status s = t.Reserve(30);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(t.used(), 80u);  // failed reservation does not leak
+  EXPECT_TRUE(t.Reserve(20).ok());
+}
+
+TEST(MemoryTrackerTest, WouldExceed) {
+  MemoryTracker t(100);
+  ASSERT_TRUE(t.Reserve(90).ok());
+  EXPECT_TRUE(t.WouldExceed(20));
+  EXPECT_FALSE(t.WouldExceed(10));
+}
+
+TEST(MemoryTrackerTest, ScopedReservationReleases) {
+  MemoryTracker t(1000);
+  {
+    ScopedReservation r(&t);
+    ASSERT_TRUE(r.Reserve(400).ok());
+    ASSERT_TRUE(r.Reserve(100).ok());
+    EXPECT_EQ(t.used(), 500u);
+  }
+  EXPECT_EQ(t.used(), 0u);
+  EXPECT_EQ(t.peak(), 500u);
+}
+
+// ---------------------------------------------------------------------------
+// TempFile
+// ---------------------------------------------------------------------------
+
+TEST(TempFileTest, WriteRewindRead) {
+  TempFileManager manager;
+  auto file = manager.Create("test");
+  ASSERT_TRUE(file.ok());
+  uint64_t v = 0xDEADBEEF;
+  ASSERT_TRUE((*file)->WriteU64(v).ok());
+  ASSERT_TRUE((*file)->Rewind().ok());
+  uint64_t got = 0;
+  bool eof = false;
+  ASSERT_TRUE((*file)->ReadBytes(&got, sizeof(got), &eof).ok());
+  EXPECT_FALSE(eof);
+  EXPECT_EQ(got, v);
+  ASSERT_TRUE((*file)->ReadBytes(&got, sizeof(got), &eof).ok());
+  EXPECT_TRUE(eof);
+}
+
+TEST(TempFileTest, ManagerCleansDirectory) {
+  std::string dir;
+  {
+    TempFileManager manager;
+    dir = manager.dir();
+    auto file = manager.Create("x");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->WriteU64(1).ok());
+  }
+  EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+// ---------------------------------------------------------------------------
+// strings
+// ---------------------------------------------------------------------------
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"a"}, ","), "a");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, CaseFolding) {
+  EXPECT_EQ(AsciiToUpper("select"), "SELECT");
+  EXPECT_EQ(AsciiToLower("GrOuP"), "group");
+  EXPECT_TRUE(EqualsIgnoreCase("GROUP", "group"));
+  EXPECT_FALSE(EqualsIgnoreCase("GROUP", "groups"));
+}
+
+TEST(StringsTest, DoubleToSqlRoundTrips) {
+  for (double v : {0.0, 1.0, -1.5, 0.7071067811865476, 1e-24, 3e300}) {
+    std::string text = DoubleToSql(v);
+    EXPECT_EQ(std::stod(text), v) << text;
+  }
+  // Integral doubles keep a decimal marker so they stay DOUBLE-typed in SQL.
+  EXPECT_NE(DoubleToSql(1.0).find('.'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qy

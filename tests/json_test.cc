@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace qy {
+namespace {
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->AsBool());
+  EXPECT_FALSE(ParseJson("false")->AsBool());
+  EXPECT_DOUBLE_EQ(ParseJson("3.25")->AsDouble(), 3.25);
+  EXPECT_EQ(ParseJson("-17")->AsInt(), -17);
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, ParseNested) {
+  auto doc = ParseJson(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->AsArray().size(), 3u);
+  EXPECT_EQ(a->AsArray()[2].Find("b")->AsString(), "c");
+  EXPECT_TRUE(doc->Find("d")->is_null());
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParseEscapes) {
+  auto doc = ParseJson(R"("line\nbreak \"quoted\" A")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "line\nbreak \"quoted\" A");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // trailing garbage
+}
+
+TEST(JsonTest, DumpCompactAndPretty) {
+  JsonValue doc{JsonValue::Object{}};
+  doc.Set("n", 3);
+  doc.Set("xs", JsonValue(JsonValue::Array{JsonValue(1), JsonValue(2)}));
+  EXPECT_EQ(doc.Dump(), R"({"n":3,"xs":[1,2]})");
+  std::string pretty = doc.Dump(2);
+  EXPECT_NE(pretty.find("\n  \"n\": 3"), std::string::npos);
+}
+
+TEST(JsonTest, RoundTripPreservesStructure) {
+  std::string text =
+      R"({"name":"ghz","num_qubits":3,"gates":[{"gate":"h","qubits":[0]}],"f":-1.25e-3})";
+  auto doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok());
+  auto again = ParseJson(doc->Dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(doc->Dump(), again->Dump());
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  JsonValue doc{JsonValue::Object{}};
+  doc.Set("z", 1);
+  doc.Set("a", 2);
+  EXPECT_EQ(doc.Dump(), R"({"z":1,"a":2})");
+}
+
+TEST(JsonTest, NumberFormatting) {
+  EXPECT_EQ(JsonValue(int64_t{5}).Dump(), "5");
+  EXPECT_EQ(JsonValue(2.5).Dump(), "2.5");
+  // Round-trip of a sub-epsilon double.
+  auto doc = ParseJson(JsonValue(1e-300).Dump());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_DOUBLE_EQ(doc->AsDouble(), 1e-300);
+}
+
+}  // namespace
+}  // namespace qy

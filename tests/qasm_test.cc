@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "circuit/families.h"
+#include "circuit/qasm.h"
+#include "sim/statevector.h"
+
+namespace qy::qc {
+namespace {
+
+TEST(QasmTest, ParsesGhzProgram) {
+  auto circuit = CircuitFromQasm(R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[3];
+    creg c[3];
+    h q[0];      // superpose
+    cx q[0],q[1];
+    cx q[1],q[2];
+    measure q -> c;
+  )");
+  ASSERT_TRUE(circuit.ok()) << circuit.status().ToString();
+  EXPECT_EQ(circuit->num_qubits(), 3);
+  ASSERT_EQ(circuit->NumGates(), 3u);
+  sim::StatevectorSimulator sim;
+  auto state = sim.Run(*circuit);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->NumNonZero(), 2u);
+}
+
+TEST(QasmTest, ParameterExpressionsWithPi) {
+  auto circuit = CircuitFromQasm(R"(
+    OPENQASM 2.0;
+    qreg q[1];
+    rz(pi/2) q[0];
+    rx(-pi) q[0];
+    u3(pi/4, 0.5, 2*pi/3) q[0];
+    p(1.5e-1) q[0];
+  )");
+  ASSERT_TRUE(circuit.ok()) << circuit.status().ToString();
+  EXPECT_DOUBLE_EQ(circuit->gates()[0].params[0], M_PI / 2);
+  EXPECT_DOUBLE_EQ(circuit->gates()[1].params[0], -M_PI);
+  EXPECT_DOUBLE_EQ(circuit->gates()[2].params[2], 2 * M_PI / 3);
+  EXPECT_DOUBLE_EQ(circuit->gates()[3].params[0], 0.15);
+}
+
+TEST(QasmTest, MultipleRegistersConcatenate) {
+  auto circuit = CircuitFromQasm(R"(
+    OPENQASM 2.0;
+    qreg a[2];
+    qreg b[2];
+    x a[1];
+    cx a[1],b[0];
+  )");
+  ASSERT_TRUE(circuit.ok()) << circuit.status().ToString();
+  EXPECT_EQ(circuit->num_qubits(), 4);
+  EXPECT_EQ(circuit->gates()[1].qubits, (std::vector<int>{1, 2}));
+}
+
+TEST(QasmTest, GateAliases) {
+  auto circuit = CircuitFromQasm(R"(
+    OPENQASM 2.0;
+    qreg q[3];
+    u1(0.5) q[0];
+    cu1(0.25) q[0],q[1];
+    ccx q[0],q[1],q[2];
+  )");
+  ASSERT_TRUE(circuit.ok()) << circuit.status().ToString();
+  EXPECT_EQ(circuit->gates()[0].type, GateType::kP);
+  EXPECT_EQ(circuit->gates()[1].type, GateType::kCP);
+  EXPECT_EQ(circuit->gates()[2].type, GateType::kCCX);
+}
+
+TEST(QasmTest, Errors) {
+  EXPECT_FALSE(CircuitFromQasm("qreg q[2]; h q[0];").ok());  // no header
+  EXPECT_FALSE(CircuitFromQasm("OPENQASM 2.0; h q[0];").ok());  // no qreg
+  EXPECT_FALSE(
+      CircuitFromQasm("OPENQASM 2.0; qreg q[1]; frobnicate q[0];").ok());
+  EXPECT_FALSE(
+      CircuitFromQasm("OPENQASM 2.0; qreg q[1]; rx(oops) q[0];").ok());
+  EXPECT_FALSE(CircuitFromQasm("OPENQASM 2.0; qreg q[2]; h q;").ok());
+  EXPECT_FALSE(CircuitFromQasm(
+                   "OPENQASM 2.0; qreg q[1]; gate foo a { h a; } foo q[0];")
+                   .ok());
+  EXPECT_FALSE(CircuitFromQasm("OPENQASM 2.0; qreg q[1]; h r[0];").ok());
+  EXPECT_FALSE(CircuitFromQasm("OPENQASM 2.0; qreg q[1]; cx q[0],q[0];").ok());
+}
+
+TEST(QasmTest, RoundTripThroughExport) {
+  QuantumCircuit original(3, "mix");
+  original.H(0).CX(0, 2).RZ(0.75, 1).CP(0.5, 2, 0).CCX(0, 1, 2);
+  auto qasm = CircuitToQasm(original);
+  ASSERT_TRUE(qasm.ok()) << qasm.status().ToString();
+  auto back = CircuitFromQasm(*qasm);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << *qasm;
+  ASSERT_EQ(back->NumGates(), original.NumGates());
+  sim::StatevectorSimulator sim;
+  auto a = sim.Run(original);
+  auto b = sim.Run(*back);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(sim::SparseState::MaxAmplitudeDiff(*a, *b), 1e-12);
+}
+
+TEST(QasmTest, ExportRejectsCustomGates) {
+  QuantumCircuit c(1);
+  auto id = IdentityMatrix(1);
+  c.Unitary(id.m, {0});
+  EXPECT_EQ(CircuitToQasm(c).status().code(), StatusCode::kUnsupported);
+}
+
+TEST(QasmTest, EquivalentToBuilderCircuit) {
+  // The QASM form of QFT(3) must match the family constructor.
+  auto qasm = CircuitToQasm(Qft(3));
+  ASSERT_TRUE(qasm.ok());
+  auto back = CircuitFromQasm(*qasm);
+  ASSERT_TRUE(back.ok());
+  sim::StatevectorSimulator sim;
+  auto a = sim.Run(Qft(3));
+  auto b = sim.Run(*back);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(sim::SparseState::MaxAmplitudeDiff(*a, *b), 1e-12);
+}
+
+}  // namespace
+}  // namespace qy::qc

@@ -1,0 +1,356 @@
+/// Baseline simulator tests: known states, budgets, backend-specific
+/// structure (MPS bond dimension, DD node sharing), SVD properties.
+#include <gtest/gtest.h>
+
+#include "circuit/families.h"
+#include "common/random.h"
+#include "sim/dd.h"
+#include "sim/mps.h"
+#include "sim/sparse_sim.h"
+#include "sim/state.h"
+#include "sim/statevector.h"
+#include "sim/svd.h"
+
+namespace qy::sim {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+// ---------------------------------------------------------------------------
+// SparseState
+// ---------------------------------------------------------------------------
+
+TEST(SparseStateTest, ZeroStateBasics) {
+  SparseState s = SparseState::ZeroState(3);
+  EXPECT_EQ(s.NumNonZero(), 1u);
+  EXPECT_EQ(s.Amplitude(0), Complex(1, 0));
+  EXPECT_DOUBLE_EQ(s.NormSquared(), 1.0);
+}
+
+TEST(SparseStateTest, ConstructionSortsAndCombines) {
+  SparseState s(2, {{BasisIndex{2}, Complex{0.5, 0}},
+                    {BasisIndex{1}, Complex{0.5, 0}},
+                    {BasisIndex{2}, Complex{0.25, 0}}});
+  ASSERT_EQ(s.NumNonZero(), 2u);
+  EXPECT_EQ(s.amplitudes()[0].first, BasisIndex{1});
+  EXPECT_EQ(s.Amplitude(2), Complex(0.75, 0));
+}
+
+TEST(SparseStateTest, PruneDropsSmallAmplitudes) {
+  SparseState s(2, {{BasisIndex{0}, Complex{1.0, 0}},
+                    {BasisIndex{1}, Complex{1e-15, 0}}});
+  s.Prune(1e-12);
+  EXPECT_EQ(s.NumNonZero(), 1u);
+}
+
+TEST(SparseStateTest, MarginalProbability) {
+  SparseState ghz(2, {{BasisIndex{0}, Complex{kInvSqrt2, 0}},
+                      {BasisIndex{3}, Complex{kInvSqrt2, 0}}});
+  EXPECT_NEAR(ghz.MarginalProbability(0), 0.5, 1e-12);
+  EXPECT_NEAR(ghz.MarginalProbability(1), 0.5, 1e-12);
+}
+
+TEST(SparseStateTest, DiffAndFidelity) {
+  SparseState a(1, {{BasisIndex{0}, Complex{1, 0}}});
+  SparseState b(1, {{BasisIndex{1}, Complex{1, 0}}});
+  EXPECT_DOUBLE_EQ(SparseState::MaxAmplitudeDiff(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(SparseState::FidelityOverlap(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(SparseState::FidelityOverlap(a, a), 1.0);
+  // Global phase: fidelity 1, amplitude diff > 0.
+  SparseState c(1, {{BasisIndex{0}, Complex{0, 1}}});
+  EXPECT_DOUBLE_EQ(SparseState::FidelityOverlap(a, c), 1.0);
+  EXPECT_GT(SparseState::MaxAmplitudeDiff(a, c), 1.0);
+}
+
+TEST(SparseStateTest, KetStringOrdering) {
+  // Qubit 0 is the rightmost character.
+  EXPECT_EQ(KetString(BasisIndex{1}, 3), "|001>");
+  EXPECT_EQ(KetString(BasisIndex{4}, 3), "|100>");
+}
+
+TEST(SparseStateTest, SamplingFollowsProbabilities) {
+  // 75/25 split: with 4000 shots the frequencies concentrate tightly.
+  SparseState s(1, {{BasisIndex{0}, Complex{std::sqrt(0.75), 0}},
+                    {BasisIndex{1}, Complex{0, std::sqrt(0.25)}}});
+  Rng rng(123);
+  auto histogram = s.Sample(&rng, 4000);
+  ASSERT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram[0].first, BasisIndex{0});
+  EXPECT_NEAR(histogram[0].second / 4000.0, 0.75, 0.03);
+  EXPECT_NEAR(histogram[1].second / 4000.0, 0.25, 0.03);
+  EXPECT_EQ(histogram[0].second + histogram[1].second, 4000);
+}
+
+TEST(SparseStateTest, SamplingDeterministicOutcome) {
+  SparseState s(2, {{BasisIndex{3}, Complex{1, 0}}});
+  Rng rng(7);
+  auto histogram = s.Sample(&rng, 100);
+  ASSERT_EQ(histogram.size(), 1u);
+  EXPECT_EQ(histogram[0].first, BasisIndex{3});
+  EXPECT_EQ(histogram[0].second, 100);
+}
+
+// ---------------------------------------------------------------------------
+// Statevector
+// ---------------------------------------------------------------------------
+
+TEST(StatevectorTest, HadamardSuperposition) {
+  StatevectorSimulator sim;
+  qc::QuantumCircuit c(1);
+  c.H(0);
+  auto state = sim.Run(c);
+  ASSERT_TRUE(state.ok());
+  EXPECT_NEAR(std::abs(state->Amplitude(0) - Complex(kInvSqrt2, 0)), 0, 1e-12);
+  EXPECT_NEAR(std::abs(state->Amplitude(1) - Complex(kInvSqrt2, 0)), 0, 1e-12);
+}
+
+TEST(StatevectorTest, PhaseGates) {
+  StatevectorSimulator sim;
+  qc::QuantumCircuit c(1);
+  c.H(0).S(0).T(0);  // phase e^{i 3pi/4} on |1>
+  auto state = sim.Run(c);
+  ASSERT_TRUE(state.ok());
+  Complex expect = kInvSqrt2 * std::exp(Complex(0, 3 * M_PI / 4));
+  EXPECT_NEAR(std::abs(state->Amplitude(1) - expect), 0, 1e-12);
+}
+
+TEST(StatevectorTest, GhzAnalytic) {
+  StatevectorSimulator sim;
+  auto state = sim.Run(qc::Ghz(3));
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state->NumNonZero(), 2u);
+  EXPECT_NEAR(std::abs(state->Amplitude(0) - Complex(kInvSqrt2, 0)), 0, 1e-12);
+  EXPECT_NEAR(std::abs(state->Amplitude(7) - Complex(kInvSqrt2, 0)), 0, 1e-12);
+}
+
+TEST(StatevectorTest, NonAdjacentCxAndSwap) {
+  StatevectorSimulator sim;
+  qc::QuantumCircuit c(4);
+  c.X(0).CX(0, 3).Swap(0, 2);
+  auto state = sim.Run(c);
+  ASSERT_TRUE(state.ok());
+  // |0001> -> CX(0,3) -> |1001> -> swap(0,2) -> |1100>.
+  EXPECT_NEAR(std::abs(state->Amplitude(0b1100) - Complex(1, 0)), 0, 1e-12);
+}
+
+TEST(StatevectorTest, MemoryWall) {
+  EXPECT_EQ(StatevectorSimulator::MaxQubitsForBudget(2ull << 30), 27);
+  EXPECT_EQ(StatevectorSimulator::MaxQubitsForBudget(16), 0);
+  SimOptions opts;
+  opts.memory_budget_bytes = 1 << 20;  // 1 MiB -> 16 qubits max
+  StatevectorSimulator sim(opts);
+  EXPECT_TRUE(sim.Run(qc::Ghz(16)).ok());
+  auto too_big = sim.Run(qc::Ghz(17));
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(StatevectorTest, RejectsInvalidCircuit) {
+  StatevectorSimulator sim;
+  qc::QuantumCircuit c(2);
+  c.H(5);
+  EXPECT_FALSE(sim.Run(c).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Sparse simulator
+// ---------------------------------------------------------------------------
+
+TEST(SparseSimTest, TracksOnlyNonzeros) {
+  SparseSimulator sim;
+  auto state = sim.Run(qc::Ghz(40));
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->NumNonZero(), 2u);
+  EXPECT_EQ(sim.metrics().backend_stat, 2u);  // peak nonzeros
+}
+
+TEST(SparseSimTest, InterferenceCancelsExactly) {
+  SparseSimulator sim;
+  auto state = sim.Run(qc::GhzRoundTrip(10));
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->NumNonZero(), 1u);
+}
+
+TEST(SparseSimTest, BudgetFailsOnDenseCircuit) {
+  SimOptions opts;
+  opts.memory_budget_bytes = 10'000;  // ~200 entries
+  SparseSimulator sim(opts);
+  auto result = sim.Run(qc::EqualSuperposition(12));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(SparseSimTest, WideSparseCircuitWorks) {
+  SparseSimulator sim;
+  auto state = sim.Run(qc::Ghz(100));
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->NumNonZero(), 2u);
+  BasisIndex all_ones = (static_cast<BasisIndex>(1) << 100) - 1;
+  EXPECT_NEAR(std::abs(state->Amplitude(all_ones)), kInvSqrt2, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// SVD
+// ---------------------------------------------------------------------------
+
+TEST(SvdTest, ReconstructsRandomComplexMatrices) {
+  Rng rng(5);
+  for (auto [m, n] : {std::pair{4, 4}, {6, 3}, {3, 6}, {8, 2}, {1, 5}}) {
+    std::vector<Complex> a(static_cast<size_t>(m) * n);
+    for (auto& v : a) {
+      v = Complex(rng.UniformDouble() - 0.5, rng.UniformDouble() - 0.5);
+    }
+    auto svd = JacobiSvd(a, m, n);
+    ASSERT_TRUE(svd.ok());
+    // Check A = U S V^H entry-wise.
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        Complex acc{0, 0};
+        for (int k = 0; k < svd->r; ++k) {
+          acc += svd->u[i + static_cast<size_t>(k) * m] * svd->s[k] *
+                 std::conj(svd->v[j + static_cast<size_t>(k) * n]);
+        }
+        EXPECT_NEAR(std::abs(acc - a[static_cast<size_t>(i) * n + j]), 0, 1e-10)
+            << m << "x" << n << " at " << i << "," << j;
+      }
+    }
+    // Singular values descending and non-negative.
+    for (int k = 1; k < svd->r; ++k) {
+      EXPECT_LE(svd->s[k], svd->s[k - 1] + 1e-12);
+      EXPECT_GE(svd->s[k], 0.0);
+    }
+  }
+}
+
+TEST(SvdTest, OrthonormalColumns) {
+  Rng rng(9);
+  int m = 6, n = 4;
+  std::vector<Complex> a(static_cast<size_t>(m) * n);
+  for (auto& v : a) {
+    v = Complex(rng.UniformDouble() - 0.5, rng.UniformDouble() - 0.5);
+  }
+  auto svd = JacobiSvd(a, m, n);
+  ASSERT_TRUE(svd.ok());
+  for (int j = 0; j < svd->r; ++j) {
+    for (int k = 0; k < svd->r; ++k) {
+      Complex dot{0, 0};
+      for (int i = 0; i < m; ++i) {
+        dot += std::conj(svd->u[i + static_cast<size_t>(j) * m]) *
+               svd->u[i + static_cast<size_t>(k) * m];
+      }
+      EXPECT_NEAR(std::abs(dot - (j == k ? Complex(1, 0) : Complex(0, 0))), 0,
+                  1e-10);
+    }
+  }
+}
+
+TEST(SvdTest, RankDeficientMatrix) {
+  // Two identical columns -> one zero singular value.
+  std::vector<Complex> a = {Complex(1, 0), Complex(1, 0),
+                            Complex(0, 1), Complex(0, 1)};
+  auto svd = JacobiSvd(a, 2, 2);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->s[1], 0.0, 1e-12);
+  EXPECT_NEAR(svd->s[0], 2.0, 1e-12);
+}
+
+TEST(SvdTest, RejectsBadDimensions) {
+  EXPECT_FALSE(JacobiSvd({}, 0, 0).ok());
+  EXPECT_FALSE(JacobiSvd({Complex(1, 0)}, 2, 2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// MPS
+// ---------------------------------------------------------------------------
+
+TEST(MpsTest, GhzBondDimensionStaysTwo) {
+  MpsSimulator sim;
+  auto state = sim.Run(qc::Ghz(30));
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->NumNonZero(), 2u);
+  EXPECT_EQ(sim.metrics().backend_stat, 2u);  // max bond dimension
+}
+
+TEST(MpsTest, WideGhzCheap) {
+  MpsSimulator sim;
+  auto state = sim.Run(qc::Ghz(100));
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->NumNonZero(), 2u);
+  EXPECT_DOUBLE_EQ(state->NormSquared(), 1.0);
+}
+
+TEST(MpsTest, NonAdjacentGatesViaSwapRouting) {
+  MpsSimulator sim;
+  StatevectorSimulator ref;
+  qc::QuantumCircuit c(6);
+  c.H(0).CX(0, 5).CX(5, 2).CZ(1, 4).Swap(0, 3);
+  auto a = sim.Run(c);
+  auto b = ref.Run(c);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(SparseState::MaxAmplitudeDiff(*a, *b), 1e-9);
+}
+
+TEST(MpsTest, ThreeQubitGatesDecomposed) {
+  MpsSimulator sim;
+  StatevectorSimulator ref;
+  qc::QuantumCircuit c(4);
+  c.X(0).X(1).CCX(0, 1, 2).CSwap(2, 1, 3);
+  auto a = sim.Run(c);
+  auto b = ref.Run(c);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(SparseState::MaxAmplitudeDiff(*a, *b), 1e-9);
+}
+
+TEST(MpsTest, MaxBondEnforced) {
+  SimOptions opts;
+  opts.mps_max_bond = 2;
+  MpsSimulator sim(opts);
+  // A volume-law random circuit needs bond > 2 at depth >= 2.
+  auto result = sim.Run(qc::RandomDense(8, 4, 3));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory);
+}
+
+// ---------------------------------------------------------------------------
+// Decision diagrams
+// ---------------------------------------------------------------------------
+
+TEST(DdTest, GhzDiagramIsLinear) {
+  DdSimulator sim;
+  auto state = sim.Run(qc::Ghz(24));
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->NumNonZero(), 2u);
+  // Node count grows linearly with qubits for GHZ, not with 2^n.
+  EXPECT_LT(sim.metrics().backend_stat, 2000u);
+}
+
+TEST(DdTest, PhaseKickbackAccuracy) {
+  DdSimulator sim;
+  StatevectorSimulator ref;
+  qc::QuantumCircuit c(3);
+  c.H(0).H(1).H(2).CP(0.7, 0, 2).T(1).CZ(1, 2).RZ(-0.3, 0);
+  auto a = sim.Run(c);
+  auto b = ref.Run(c);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(SparseState::MaxAmplitudeDiff(*a, *b), 1e-9);
+}
+
+TEST(DdTest, BudgetOnDenseRandom) {
+  SimOptions opts;
+  opts.memory_budget_bytes = 50'000;
+  DdSimulator sim(opts);
+  auto result = sim.Run(qc::RandomDense(12, 6, 1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(DdTest, WideSparseCircuit) {
+  DdSimulator sim;
+  auto state = sim.Run(qc::SparsePhase(60, 120, 4));
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->NumNonZero(), 2u);
+  EXPECT_NEAR(state->NormSquared(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qy::sim

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/tokenizer.h"
+
+namespace qy::sql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT s, r FROM t0 WHERE s >= 12");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 11u);  // incl. End
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_TRUE((*tokens)[8].IsSymbol(">="));
+  EXPECT_EQ((*tokens)[9].type, TokenType::kIntLiteral);
+}
+
+TEST(TokenizerTest, BitwiseAndShiftOperators) {
+  auto tokens = Tokenize("a & ~b | c << 2 >> 1 ^ 3");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> symbols;
+  for (const Token& t : *tokens) {
+    if (t.type == TokenType::kSymbol) symbols.push_back(t.text);
+  }
+  EXPECT_EQ(symbols, (std::vector<std::string>{"&", "~", "|", "<<", ">>", "^"}));
+}
+
+TEST(TokenizerTest, FloatForms) {
+  auto tokens = Tokenize("1.5 .25 2e10 3.25E-4 7");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kFloatLiteral);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kFloatLiteral);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kFloatLiteral);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kFloatLiteral);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kIntLiteral);
+}
+
+TEST(TokenizerTest, StringsAndEscapes) {
+  auto tokens = Tokenize("'it''s' 'plain'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's");
+  EXPECT_EQ((*tokens)[1].text, "plain");
+}
+
+TEST(TokenizerTest, Comments) {
+  auto tokens = Tokenize("SELECT 1 -- trailing\n+ /* block */ 2");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);
+  EXPECT_EQ((*tokens)[2].text, "+");
+}
+
+TEST(TokenizerTest, NotEqualsNormalizes) {
+  auto tokens = Tokenize("a != b <> c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "<>");
+}
+
+TEST(TokenizerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("/* open").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+  EXPECT_FALSE(Tokenize("1e+").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+Result<Statement> Parse(const std::string& sql) { return ParseStatement(sql); }
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = Parse("SELECT s, r, i FROM T0 ORDER BY s");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->kind, Statement::Kind::kSelect);
+  EXPECT_EQ(stmt->select->items.size(), 3u);
+  EXPECT_EQ(stmt->select->order_by.size(), 1u);
+}
+
+TEST(ParserTest, PaperFig2Query) {
+  // The exact query shape from Fig. 2c of the paper must parse.
+  auto stmt = Parse(R"(
+    WITH T1 AS (
+      SELECT ((T0.s & ~1) | H.out_s) AS s,
+             SUM((T0.r * H.r) - (T0.i * H.i)) AS r,
+             SUM((T0.r * H.i) + (T0.i * H.r)) AS i
+      FROM T0 JOIN H ON H.in_s = (T0.s & 1)
+      GROUP BY ((T0.s & ~1) | H.out_s))
+    SELECT s, r, i FROM T1 ORDER BY s)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->select->ctes.size(), 1u);
+  const SelectStmt& cte = *stmt->select->ctes[0].select;
+  EXPECT_EQ(cte.items.size(), 3u);
+  EXPECT_EQ(cte.group_by.size(), 1u);
+  ASSERT_NE(cte.from, nullptr);
+  EXPECT_EQ(cte.from->kind, TableRef::Kind::kJoin);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  // * binds tighter than +, + tighter than <<, << tighter than &, & than |.
+  auto stmt = Parse("SELECT 1 | 2 & 3 << 1 + 2 * 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->items[0].expr->ToString(),
+            "(1 | (2 & (3 << (1 + (2 * 3)))))");
+}
+
+TEST(ParserTest, ComparisonAndLogic) {
+  auto stmt = Parse("SELECT * FROM t WHERE a = 1 AND NOT b > 2 OR c <> 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->where->ToString(),
+            "(((a = 1) AND (NOT (b > 2))) OR (c <> 3))");
+}
+
+TEST(ParserTest, UnaryOperators) {
+  auto stmt = Parse("SELECT -x, ~y, NOT z FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->items[0].expr->ToString(), "(-x)");
+  EXPECT_EQ(stmt->select->items[1].expr->ToString(), "(~y)");
+  EXPECT_EQ(stmt->select->items[2].expr->ToString(), "(NOT z)");
+}
+
+TEST(ParserTest, FunctionsAndCase) {
+  auto stmt = Parse(
+      "SELECT SUM(r), ABS(-1), CASE WHEN a > 0 THEN 1 ELSE 2 END, "
+      "CAST(x AS DOUBLE) FROM t GROUP BY 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->select->items[0].expr->ToString(), "SUM(r)");
+  EXPECT_EQ(stmt->select->items[2].expr->ToString(),
+            "CASE WHEN (a > 0) THEN 1 ELSE 2 END");
+  EXPECT_EQ(stmt->select->items[3].expr->ToString(), "CAST(x AS DOUBLE)");
+}
+
+TEST(ParserTest, JoinForms) {
+  for (const char* sql : {
+           "SELECT * FROM a JOIN b ON a.x = b.y",
+           "SELECT * FROM a INNER JOIN b ON a.x = b.y",
+           "SELECT * FROM a CROSS JOIN b",
+           "SELECT * FROM a, b",
+           "SELECT * FROM a JOIN b ON a.x = b.y JOIN c ON b.z = c.w",
+       }) {
+    auto stmt = Parse(sql);
+    ASSERT_TRUE(stmt.ok()) << sql << ": " << stmt.status().ToString();
+    EXPECT_EQ(stmt->select->from->kind, TableRef::Kind::kJoin) << sql;
+  }
+}
+
+TEST(ParserTest, SubqueryInFrom) {
+  auto stmt = Parse("SELECT q.s FROM (SELECT s FROM t) AS q");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->from->kind, TableRef::Kind::kSubquery);
+  EXPECT_EQ(stmt->select->from->alias, "q");
+}
+
+TEST(ParserTest, TableAliases) {
+  auto stmt = Parse("SELECT x.s FROM t AS x");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->from->alias, "x");
+  auto bare = Parse("SELECT x.s FROM t x");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->select->from->alias, "x");
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = Parse("CREATE TABLE t (s BIGINT, r DOUBLE, name VARCHAR)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ(stmt->kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ(stmt->create_table->columns.size(), 3u);
+  EXPECT_EQ(stmt->create_table->columns[1].type, DataType::kDouble);
+}
+
+TEST(ParserTest, CreateTableVariants) {
+  EXPECT_TRUE(Parse("CREATE TABLE IF NOT EXISTS t (a INT)").ok());
+  EXPECT_TRUE(Parse("CREATE OR REPLACE TABLE t (a INT)").ok());
+  auto ctas = Parse("CREATE TABLE t AS SELECT 1 AS x");
+  ASSERT_TRUE(ctas.ok());
+  EXPECT_NE(ctas->create_table->as_select, nullptr);
+}
+
+TEST(ParserTest, InsertForms) {
+  auto vals = Parse("INSERT INTO t VALUES (1, 2.0, 'a'), (2, 3.0, 'b')");
+  ASSERT_TRUE(vals.ok());
+  EXPECT_EQ(vals->insert->values_rows.size(), 2u);
+  auto cols = Parse("INSERT INTO t (a, b) VALUES (1, 2)");
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(cols->insert->column_names.size(), 2u);
+  auto sel = Parse("INSERT INTO t SELECT * FROM u");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_NE(sel->insert->select, nullptr);
+}
+
+TEST(ParserTest, DropTable) {
+  auto stmt = Parse("DROP TABLE IF EXISTS t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->drop_table->if_exists);
+}
+
+TEST(ParserTest, HugeIntLiteral) {
+  auto stmt = Parse("SELECT 170141183460469231731687303715884105727");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->items[0].expr->literal.type(), DataType::kHugeInt);
+}
+
+TEST(ParserTest, HavingAndLimit) {
+  auto stmt = Parse(
+      "SELECT s, SUM(r) FROM t GROUP BY s HAVING SUM(r) > 0.5 LIMIT 10");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_NE(stmt->select->having, nullptr);
+  EXPECT_EQ(stmt->select->limit.value(), 10);
+}
+
+TEST(ParserTest, IsNull) {
+  auto stmt = Parse("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->select->where->ToString(),
+            "(ISNULL(a) AND (NOT ISNULL(b)))");
+}
+
+TEST(ParserTest, ScriptSplitsStatements) {
+  auto stmts = ParseScript(
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("SELECT").ok());
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t GROUP").ok());
+  EXPECT_FALSE(Parse("SELECT a b c FROM t").ok());
+  EXPECT_FALSE(Parse("CREATE TABLE t (a NOTATYPE)").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t VALUES 1, 2").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM t LIMIT abc").ok());
+  EXPECT_FALSE(Parse("SELECT CASE END").ok());
+  EXPECT_FALSE(Parse("UPDATE t SET a = 1").ok());
+}
+
+TEST(ParserTest, DistinctAndStar) {
+  auto stmt = Parse("SELECT DISTINCT t.* FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->select->distinct);
+  EXPECT_EQ(stmt->select->items[0].expr->kind, ExprKind::kStar);
+  EXPECT_EQ(stmt->select->items[0].expr->table, "t");
+}
+
+TEST(ParserTest, ExplainWraps) {
+  auto stmt = Parse("EXPLAIN SELECT 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind, Statement::Kind::kExplain);
+}
+
+}  // namespace
+}  // namespace qy::sql

@@ -1,0 +1,279 @@
+/// Algebraic property tests of the relsql engine on randomized data: the
+/// invariants a relational engine must satisfy regardless of input, checked
+/// against independently computed expectations.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "sql/database.h"
+
+namespace qy::sql {
+namespace {
+
+/// Random table r rows of (k BIGINT in [0, key_range), v BIGINT, d DOUBLE).
+void FillRandom(Database* db, const std::string& name, int rows, int key_range,
+                uint64_t seed, std::vector<std::array<int64_t, 2>>* data) {
+  ASSERT_TRUE(db->ExecuteScript("CREATE TABLE " + name +
+                                " (k BIGINT, v BIGINT, d DOUBLE)")
+                  .ok());
+  auto table = db->catalog().GetTable(name);
+  Rng rng(seed);
+  for (int r = 0; r < rows; ++r) {
+    int64_t k = rng.UniformInt(0, key_range - 1);
+    int64_t v = rng.UniformInt(-100, 100);
+    ASSERT_TRUE((*table)
+                    ->AppendRow({Value::BigInt(k), Value::BigInt(v),
+                                 Value::Double(static_cast<double>(v) / 4)})
+                    .ok());
+    if (data != nullptr) data->push_back({k, v});
+  }
+}
+
+class SqlPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlPropertyTest, GroupBySumsMatchManualAggregation) {
+  Database db;
+  std::vector<std::array<int64_t, 2>> data;
+  FillRandom(&db, "t", 2000, 37, GetParam(), &data);
+  std::map<int64_t, int64_t> expect_sum;
+  std::map<int64_t, int64_t> expect_count;
+  for (const auto& [k, v] : data) {
+    expect_sum[k] += v;
+    expect_count[k] += 1;
+  }
+  auto result = db.Execute("SELECT k, SUM(v), COUNT(*) FROM t GROUP BY k "
+                           "ORDER BY k");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->NumRows(), expect_sum.size());
+  uint64_t row = 0;
+  for (const auto& [k, sum] : expect_sum) {
+    EXPECT_EQ(result->GetInt64(row, 0), k);
+    EXPECT_EQ(result->GetInt64(row, 1), sum);
+    EXPECT_EQ(result->GetInt64(row, 2), expect_count[k]);
+    ++row;
+  }
+}
+
+TEST_P(SqlPropertyTest, JoinCardinalityMatchesKeyHistogram) {
+  Database db;
+  std::vector<std::array<int64_t, 2>> left, right;
+  FillRandom(&db, "a", 500, 23, GetParam(), &left);
+  FillRandom(&db, "b", 300, 23, GetParam() + 1, &right);
+  std::map<int64_t, int64_t> hist;
+  for (const auto& [k, v] : right) ++hist[k];
+  int64_t expect = 0;
+  for (const auto& [k, v] : left) expect += hist.count(k) ? hist[k] : 0;
+  auto result =
+      db.Execute("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->GetInt64(0, 0), expect);
+}
+
+TEST_P(SqlPropertyTest, JoinIsSymmetric) {
+  Database db;
+  FillRandom(&db, "a", 400, 17, GetParam(), nullptr);
+  FillRandom(&db, "b", 400, 17, GetParam() + 7, nullptr);
+  auto ab = db.Execute("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k");
+  auto ba = db.Execute("SELECT COUNT(*) FROM b JOIN a ON b.k = a.k");
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_EQ(ab->GetInt64(0, 0), ba->GetInt64(0, 0));
+}
+
+TEST_P(SqlPropertyTest, WherePartitionsRows) {
+  Database db;
+  FillRandom(&db, "t", 1500, 29, GetParam(), nullptr);
+  auto all = db.Execute("SELECT COUNT(*) FROM t");
+  auto pos = db.Execute("SELECT COUNT(*) FROM t WHERE v >= 0");
+  auto neg = db.Execute("SELECT COUNT(*) FROM t WHERE NOT v >= 0");
+  ASSERT_TRUE(all.ok() && pos.ok() && neg.ok());
+  EXPECT_EQ(pos->GetInt64(0, 0) + neg->GetInt64(0, 0), all->GetInt64(0, 0));
+}
+
+TEST_P(SqlPropertyTest, SumIsLinear) {
+  // SUM(3*v + 2) == 3*SUM(v) + 2*COUNT(v).
+  Database db;
+  FillRandom(&db, "t", 1000, 11, GetParam(), nullptr);
+  auto result = db.Execute(
+      "SELECT SUM(3 * v + 2), SUM(v), COUNT(v) FROM t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->GetInt128(0, 0),
+            3 * result->GetInt128(0, 1) + 2 * result->GetInt128(0, 2));
+}
+
+TEST_P(SqlPropertyTest, DistinctCountsGroups) {
+  Database db;
+  FillRandom(&db, "t", 800, 19, GetParam(), nullptr);
+  auto distinct =
+      db.Execute("SELECT COUNT(*) FROM (SELECT DISTINCT k FROM t) AS d");
+  auto grouped = db.Execute(
+      "SELECT COUNT(*) FROM (SELECT k, COUNT(*) AS c FROM t GROUP BY k) AS g");
+  ASSERT_TRUE(distinct.ok() && grouped.ok());
+  EXPECT_EQ(distinct->GetInt64(0, 0), grouped->GetInt64(0, 0));
+}
+
+TEST_P(SqlPropertyTest, OrderByIsTotalAndStable) {
+  Database db;
+  FillRandom(&db, "t", 600, 13, GetParam(), nullptr);
+  auto result = db.Execute("SELECT k, v FROM t ORDER BY k, v DESC");
+  ASSERT_TRUE(result.ok());
+  for (uint64_t r = 1; r < result->NumRows(); ++r) {
+    int64_t pk = result->GetInt64(r - 1, 0), ck = result->GetInt64(r, 0);
+    ASSERT_LE(pk, ck);
+    if (pk == ck) {
+      ASSERT_GE(result->GetInt64(r - 1, 1), result->GetInt64(r, 1));
+    }
+  }
+}
+
+TEST_P(SqlPropertyTest, LimitIsPrefixOfOrdered) {
+  Database db;
+  FillRandom(&db, "t", 500, 31, GetParam(), nullptr);
+  auto full = db.Execute("SELECT v FROM t ORDER BY v, k LIMIT 500");
+  auto limited = db.Execute("SELECT v FROM t ORDER BY v, k LIMIT 7");
+  ASSERT_TRUE(full.ok() && limited.ok());
+  ASSERT_EQ(limited->NumRows(), 7u);
+  for (uint64_t r = 0; r < 7; ++r) {
+    EXPECT_EQ(limited->GetInt64(r, 0), full->GetInt64(r, 0));
+  }
+}
+
+TEST_P(SqlPropertyTest, HavingEqualsPostFilter) {
+  Database db;
+  FillRandom(&db, "t", 900, 21, GetParam(), nullptr);
+  auto having = db.Execute(
+      "SELECT k, SUM(v) AS sv FROM t GROUP BY k HAVING SUM(v) > 10 "
+      "ORDER BY k");
+  auto subquery = db.Execute(
+      "SELECT g.k, g.sv FROM (SELECT k, SUM(v) AS sv FROM t GROUP BY k) AS g "
+      "WHERE g.sv > 10 ORDER BY g.k");
+  ASSERT_TRUE(having.ok() && subquery.ok());
+  ASSERT_EQ(having->NumRows(), subquery->NumRows());
+  for (uint64_t r = 0; r < having->NumRows(); ++r) {
+    EXPECT_EQ(having->GetInt64(r, 0), subquery->GetInt64(r, 0));
+    EXPECT_EQ(having->GetInt128(r, 1), subquery->GetInt128(r, 1));
+  }
+}
+
+TEST_P(SqlPropertyTest, SpillInvariance) {
+  // The same aggregation with and without a memory budget must agree.
+  Database big;
+  FillRandom(&big, "t", 5000, 2500, GetParam(), nullptr);
+  DatabaseOptions opts;
+  opts.memory_budget_bytes = 300 << 10;
+  Database small(opts);
+  FillRandom(&small, "t", 5000, 2500, GetParam(), nullptr);
+  const char* sql = "SELECT SUM(v), COUNT(*), MIN(v), MAX(v) FROM "
+                    "(SELECT k, SUM(v) AS v FROM t GROUP BY k) AS g";
+  auto a = big.Execute(sql);
+  auto b = small.Execute(sql);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(a->GetValue(0, c).ToString(), b->GetValue(0, c).ToString());
+  }
+}
+
+TEST_P(SqlPropertyTest, BitwiseRoundTripInSql) {
+  // Scatter/gather identity evaluated by the engine itself: for qubit block
+  // [2..4], ((s & ~28) | (((s >> 2) & 7) << 2)) == s.
+  Database db;
+  FillRandom(&db, "t", 400, 1000, GetParam(), nullptr);
+  auto result = db.Execute(
+      "SELECT COUNT(*) FROM t WHERE ((k & ~28) | (((k >> 2) & 7) << 2)) <> k");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->GetInt64(0, 0), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// Failure injection: malformed inputs must produce errors, not crashes.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjectionTest, MalformedSqlNeverCrashes) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (a BIGINT)").ok());
+  const char* bad[] = {
+      "", ";", "SELECT", "SELEC * FROM t", "SELECT * FORM t",
+      "SELECT (a FROM t", "SELECT * FROM t WHERE", "WITH x SELECT 1",
+      "INSERT INTO", "CREATE TABLE", "SELECT * FROM t GROUP BY",
+      "SELECT 'unterminated FROM t", "SELECT * FROM t ORDER LIMIT 1",
+      "SELECT CAST(a AS) FROM t", "SELECT CASE a WHEN END FROM t",
+  };
+  for (const char* sql : bad) {
+    auto result = db.Execute(sql);
+    EXPECT_FALSE(result.ok()) << "accepted: " << sql;
+  }
+}
+
+TEST(FailureInjectionTest, TypeErrorsAreBindErrors) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+      "CREATE TABLE t (a BIGINT, s VARCHAR); INSERT INTO t VALUES (1, 'x')")
+                  .ok());
+  for (const char* sql : {
+           "SELECT s & 1 FROM t", "SELECT ~s FROM t", "SELECT -s FROM t",
+           "SELECT a AND a FROM t", "SELECT NOT a FROM t",
+           "SELECT s + 1 FROM t",
+       }) {
+    auto result = db.Execute(sql);
+    ASSERT_FALSE(result.ok()) << sql;
+    EXPECT_EQ(result.status().code(), StatusCode::kBindError) << sql;
+  }
+}
+
+TEST(FailureInjectionTest, RuntimeCastFailuresPropagate) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+      "CREATE TABLE t (s VARCHAR); INSERT INTO t VALUES ('notanumber')")
+                  .ok());
+  auto result = db.Execute("SELECT CAST(s AS BIGINT) FROM t");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(FailureInjectionTest, DeepExpressionNesting) {
+  // 200 nested parens must parse (recursive descent headroom check).
+  std::string sql = "SELECT ";
+  for (int i = 0; i < 200; ++i) sql += "(";
+  sql += "1";
+  for (int i = 0; i < 200; ++i) sql += ")";
+  Database db;
+  auto result = db.Execute(sql);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->GetInt64(0, 0), 1);
+}
+
+TEST(FailureInjectionTest, EmptyTableQueries) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE e (a BIGINT, b DOUBLE)").ok());
+  auto scan = db.Execute("SELECT * FROM e");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->NumRows(), 0u);
+  auto join = db.Execute("SELECT COUNT(*) FROM e AS x JOIN e AS y ON x.a = y.a");
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(join->GetInt64(0, 0), 0);
+  auto grouped = db.Execute("SELECT a, SUM(b) FROM e GROUP BY a");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->NumRows(), 0u);
+  auto sorted = db.Execute("SELECT a FROM e ORDER BY b DESC LIMIT 5");
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->NumRows(), 0u);
+}
+
+TEST(FailureInjectionTest, ZeroBudgetDatabaseFailsGracefully) {
+  DatabaseOptions opts;
+  opts.memory_budget_bytes = 1024;  // absurdly small
+  Database db(opts);
+  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (a BIGINT)").ok());
+  auto table = db.catalog().GetTable("t");
+  Status last = Status::OK();
+  for (int r = 0; r < 100000 && last.ok(); ++r) {
+    last = (*table)->AppendRow({Value::BigInt(r)});
+  }
+  EXPECT_EQ(last.code(), StatusCode::kOutOfMemory);
+}
+
+}  // namespace
+}  // namespace qy::sql

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "sql/column_vector.h"
+#include "sql/types.h"
+#include "sql/value.h"
+
+namespace qy::sql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DataType
+// ---------------------------------------------------------------------------
+
+TEST(TypesTest, ParseAliases) {
+  EXPECT_EQ(ParseDataType("INTEGER").value(), DataType::kBigInt);
+  EXPECT_EQ(ParseDataType("int").value(), DataType::kBigInt);
+  EXPECT_EQ(ParseDataType("REAL").value(), DataType::kDouble);
+  EXPECT_EQ(ParseDataType("text").value(), DataType::kVarchar);
+  EXPECT_EQ(ParseDataType("INT128").value(), DataType::kHugeInt);
+  EXPECT_EQ(ParseDataType("bool").value(), DataType::kBool);
+  EXPECT_FALSE(ParseDataType("BLOB").ok());
+}
+
+TEST(TypesTest, NumericPromotionLadder) {
+  EXPECT_EQ(CommonNumericType(DataType::kBigInt, DataType::kDouble).value(),
+            DataType::kDouble);
+  EXPECT_EQ(CommonNumericType(DataType::kBigInt, DataType::kHugeInt).value(),
+            DataType::kHugeInt);
+  EXPECT_EQ(CommonNumericType(DataType::kBool, DataType::kBool).value(),
+            DataType::kBigInt);
+  EXPECT_FALSE(CommonNumericType(DataType::kVarchar, DataType::kBigInt).ok());
+}
+
+TEST(TypesTest, IntegerPromotion) {
+  EXPECT_EQ(CommonIntegerType(DataType::kBigInt, DataType::kBigInt).value(),
+            DataType::kBigInt);
+  EXPECT_EQ(CommonIntegerType(DataType::kHugeInt, DataType::kBigInt).value(),
+            DataType::kHugeInt);
+  EXPECT_FALSE(CommonIntegerType(DataType::kDouble, DataType::kBigInt).ok());
+  EXPECT_FALSE(CommonIntegerType(DataType::kVarchar, DataType::kBigInt).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::BigInt(7).bigint_value(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::Varchar("x").varchar_value(), "x");
+  EXPECT_TRUE(Value::Null(DataType::kDouble).is_null());
+  EXPECT_EQ(Value::Null(DataType::kDouble).type(), DataType::kDouble);
+}
+
+TEST(ValueTest, NumericWidening) {
+  Value v = Value::BigInt(-3);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), -3.0);
+  EXPECT_TRUE(v.AsHugeInt() == -3);
+  EXPECT_EQ(Value::Bool(true).AsBigInt(), 1);
+}
+
+TEST(ValueTest, CastNumeric) {
+  EXPECT_EQ(Value::Double(2.6).CastTo(DataType::kBigInt)->bigint_value(), 3);
+  EXPECT_EQ(Value::BigInt(5).CastTo(DataType::kHugeInt)->hugeint_value(), 5);
+  EXPECT_DOUBLE_EQ(Value::HugeInt(10).CastTo(DataType::kDouble)->double_value(),
+                   10.0);
+}
+
+TEST(ValueTest, CastStringBothWays) {
+  EXPECT_EQ(Value::Varchar("42").CastTo(DataType::kBigInt)->bigint_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Varchar("2.5").CastTo(DataType::kDouble)->double_value(),
+                   2.5);
+  EXPECT_EQ(Value::BigInt(7).CastTo(DataType::kVarchar)->varchar_value(), "7");
+  EXPECT_FALSE(Value::Varchar("nope").CastTo(DataType::kBigInt).ok());
+}
+
+TEST(ValueTest, CastHugeIntRangeChecked) {
+  int128_t big = static_cast<int128_t>(1) << 70;
+  EXPECT_FALSE(Value::HugeInt(big).CastTo(DataType::kBigInt).ok());
+  EXPECT_TRUE(Value::HugeInt(5).CastTo(DataType::kBigInt).ok());
+}
+
+TEST(ValueTest, NullCastKeepsNull) {
+  auto v = Value::Null(DataType::kBigInt).CastTo(DataType::kDouble);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  EXPECT_EQ(v->type(), DataType::kDouble);
+}
+
+TEST(ValueTest, CompareOrdersNullFirst) {
+  EXPECT_LT(Value::Null(DataType::kBigInt).Compare(Value::BigInt(-100)), 0);
+  EXPECT_EQ(Value::Null(DataType::kBigInt).Compare(Value::Null(DataType::kDouble)),
+            0);
+}
+
+TEST(ValueTest, CompareAcrossNumericTypes) {
+  EXPECT_EQ(Value::BigInt(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::BigInt(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::HugeInt(static_cast<int128_t>(1) << 100)
+                .Compare(Value::BigInt(INT64_MAX)),
+            0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::Varchar("abc").Compare(Value::Varchar("abd")), 0);
+  EXPECT_EQ(Value::Varchar("x").Compare(Value::Varchar("x")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::BigInt(42).Hash(), Value::BigInt(42).Hash());
+  EXPECT_NE(Value::BigInt(42).Hash(), Value::BigInt(43).Hash());
+  EXPECT_EQ(Value::Varchar("ab").Hash(), Value::Varchar("ab").Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::BigInt(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Varchar("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Null(DataType::kDouble).ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+}
+
+// ---------------------------------------------------------------------------
+// ColumnVector
+// ---------------------------------------------------------------------------
+
+TEST(ColumnVectorTest, AppendAndGet) {
+  ColumnVector col(DataType::kBigInt);
+  col.AppendBigInt(1);
+  col.AppendNull();
+  col.AppendBigInt(3);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_EQ(col.GetValue(2).bigint_value(), 3);
+  EXPECT_TRUE(col.AnyNull());
+}
+
+TEST(ColumnVectorTest, ValidityStaysEmptyWithoutNulls) {
+  ColumnVector col(DataType::kDouble);
+  col.AppendDouble(1.0);
+  col.AppendDouble(2.0);
+  EXPECT_TRUE(col.validity().empty());
+  EXPECT_FALSE(col.AnyNull());
+}
+
+TEST(ColumnVectorTest, AppendValueCastsToColumnType) {
+  ColumnVector col(DataType::kDouble);
+  ASSERT_TRUE(col.AppendValue(Value::BigInt(3)).ok());
+  EXPECT_DOUBLE_EQ(col.f64_data()[0], 3.0);
+}
+
+TEST(ColumnVectorTest, AppendFromCopiesNulls) {
+  ColumnVector a(DataType::kVarchar);
+  a.AppendVarchar("x");
+  a.AppendNull();
+  ColumnVector b(DataType::kVarchar);
+  b.AppendFrom(a, 0);
+  b.AppendFrom(a, 1);
+  EXPECT_EQ(b.str_data()[0], "x");
+  EXPECT_TRUE(b.IsNull(1));
+}
+
+TEST(ColumnVectorTest, FastCastWidening) {
+  ColumnVector col(DataType::kBigInt);
+  for (int64_t v : {1, -2, 3}) col.AppendBigInt(v);
+  auto d = col.CastTo(DataType::kDouble);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->f64_data()[1], -2.0);
+  auto h = col.CastTo(DataType::kHugeInt);
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h->i128_data()[2] == 3);
+}
+
+TEST(ColumnVectorTest, CastPreservesNulls) {
+  ColumnVector col(DataType::kBigInt);
+  col.AppendBigInt(1);
+  col.AppendNull();
+  auto d = col.CastTo(DataType::kDouble);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->IsNull(1));
+  EXPECT_FALSE(d->IsNull(0));
+}
+
+TEST(ColumnVectorTest, GenericCastStringToInt) {
+  ColumnVector col(DataType::kVarchar);
+  col.AppendVarchar("10");
+  col.AppendVarchar("-3");
+  auto ints = col.CastTo(DataType::kBigInt);
+  ASSERT_TRUE(ints.ok());
+  EXPECT_EQ(ints->i64_data()[0], 10);
+  EXPECT_EQ(ints->i64_data()[1], -3);
+}
+
+TEST(ColumnVectorTest, ApproxBytesCountsStrings) {
+  ColumnVector col(DataType::kVarchar);
+  col.AppendVarchar(std::string(100, 'x'));
+  EXPECT_GE(col.ApproxBytes(), 100u);
+}
+
+}  // namespace
+}  // namespace qy::sql
