@@ -16,11 +16,11 @@ std::string CircuitToJson(const QuantumCircuit& circuit, int indent) {
     JsonValue entry{JsonValue::Object{}};
     entry.Set("gate", GateTypeName(g.type));
     JsonValue::Array qubits;
-    for (int q : g.qubits) qubits.push_back(JsonValue(static_cast<int64_t>(q)));
+    for (int q : g.qubits) qubits.emplace_back(static_cast<int64_t>(q));
     entry.Set("qubits", JsonValue(std::move(qubits)));
     if (!g.params.empty()) {
       JsonValue::Array params;
-      for (double p : g.params) params.push_back(JsonValue(p));
+      for (double p : g.params) params.emplace_back(p);
       entry.Set("params", JsonValue(std::move(params)));
     }
     if (g.type == GateType::kCustom) {

@@ -19,7 +19,7 @@ class ColumnResolver {
 
   /// Attempt to resolve the *whole* expression (group-key matching in
   /// aggregate contexts). Returning nullptr means "not handled here".
-  virtual Result<BoundExprPtr> ResolveWhole(const Expr& expr) {
+  virtual Result<BoundExprPtr> ResolveWhole(const Expr& /*expr*/) {
     return BoundExprPtr(nullptr);
   }
 
@@ -440,7 +440,7 @@ class OutputResolver : public ColumnResolver {
  public:
   explicit OutputResolver(const Schema* schema) : schema_(schema) {}
 
-  Result<BoundExprPtr> ResolveColumn(const std::string& table,
+  Result<BoundExprPtr> ResolveColumn(const std::string& /*table*/,
                                      const std::string& column) override {
     int ci = schema_->FindColumn(column);
     if (ci < 0) {

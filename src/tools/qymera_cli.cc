@@ -137,7 +137,8 @@ int CmdRun(const qc::QuantumCircuit& circuit, const CliOptions& cli) {
   if (cli.steps && *backend == bench::Backend::kQymeraSql) {
     auto* qymera = static_cast<core::QymeraSimulator*>(simulator.get());
     qymera->set_step_callback(
-        [](size_t step, const qc::Gate& gate, const sim::SparseState& state) {
+        [](size_t /*step*/, const qc::Gate& gate,
+           const sim::SparseState& state) {
           std::printf("after %-12s %s\n", gate.ToString().c_str(),
                       state.ToString(6).c_str());
           return Status::OK();

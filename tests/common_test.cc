@@ -61,6 +61,88 @@ TEST(ResultTest, AssignOrReturnPropagates) {
             StatusCode::kInternal);
 }
 
+TEST(StatusTest, ToStringFormats) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::OutOfMemory("budget exceeded");
+  EXPECT_EQ(s.ToString(), "OutOfMemory: budget exceeded");
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status original = Status::IoError("disk full");
+  Status copied = original;
+  EXPECT_EQ(copied.code(), StatusCode::kIoError);
+  EXPECT_EQ(original.message(), "disk full");  // copy did not steal
+  Status moved = std::move(original);
+  EXPECT_EQ(moved.code(), StatusCode::kIoError);
+  EXPECT_EQ(moved.message(), "disk full");
+}
+
+Status FailFirst() { return Status::BindError("unbound column"); }
+
+Status PropagateTwice() {
+  QY_RETURN_IF_ERROR(FailFirst());
+  ADD_FAILURE() << "must not reach past a failed QY_RETURN_IF_ERROR";
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorShortCircuits) {
+  Status s = PropagateTwice();
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+  EXPECT_EQ(s.message(), "unbound column");
+}
+
+TEST(ResultTest, ValueOnErrorThrowsBadVariantAccess) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_THROW({ [[maybe_unused]] int v = r.value(); },
+               std::bad_variant_access);
+}
+
+TEST(ResultTest, DereferenceOnErrorThrows) {
+  Result<std::string> r = Status::NotFound("gone");
+  EXPECT_THROW({ [[maybe_unused]] size_t n = r->size(); },
+               std::bad_variant_access);
+}
+
+int ValueThroughNoexcept(const Result<int>& r) noexcept { return r.value(); }
+
+TEST(ResultDeathTest, ValueOnErrorInNoexceptContextDies) {
+  // Library code is exception-free (status.h contract), so the first
+  // unchecked access behind any noexcept boundary must terminate, not limp on.
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH({ ValueThroughNoexcept(r); }, "");
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  // Result must carry move-only types; rvalue value() transfers ownership.
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(ResultTest, MoveOutLeavesEngagedButEmpty) {
+  Result<std::string> r = std::string(1000, 'x');
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken.size(), 1000u);
+  // Moved-from Result still holds the T alternative (no status flip).
+  EXPECT_TRUE(r.ok());  // NOLINT bugprone-use-after-move: intentional
+}
+
+TEST(ResultTest, StatusOfOkResultIsOk) {
+  Result<int> r = 1;
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOk);
+}
+
+TEST(ResultTest, ConstAccessors) {
+  const Result<int> r = 5;
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+  const Result<std::string> e = Status::ParseError("p");
+  EXPECT_EQ(e.status().message(), "p");
+}
+
 // ---------------------------------------------------------------------------
 // int128
 // ---------------------------------------------------------------------------
@@ -106,6 +188,55 @@ TEST(Int128Test, ParseRejectsGarbage) {
   EXPECT_FALSE(ParseInt128("").ok());
   EXPECT_FALSE(ParseInt128("-").ok());
   EXPECT_FALSE(ParseInt128("12x4").ok());
+}
+
+TEST(Int128Test, ParseMaxBoundaryExact) {
+  // INT128_MAX parses; one past it overflows; explicit '+' sign accepted.
+  auto max = ParseInt128("170141183460469231731687303715884105727");
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(Int128ToString(max.value()),
+            "170141183460469231731687303715884105727");
+  auto plus = ParseInt128("+170141183460469231731687303715884105727");
+  ASSERT_TRUE(plus.ok());
+  EXPECT_TRUE(plus.value() == max.value());
+  EXPECT_EQ(ParseInt128("170141183460469231731687303715884105728")
+                .status()
+                .code(),
+            StatusCode::kParseError);
+  // One below INT128_MIN overflows on the negative side too.
+  EXPECT_FALSE(ParseInt128("-170141183460469231731687303715884105729").ok());
+}
+
+TEST(Int128Test, ParseRejectsWhitespaceAndInternalSigns) {
+  EXPECT_FALSE(ParseInt128(" 42").ok());
+  EXPECT_FALSE(ParseInt128("42 ").ok());
+  EXPECT_FALSE(ParseInt128("4-2").ok());
+  EXPECT_FALSE(ParseInt128("--42").ok());
+  EXPECT_FALSE(ParseInt128("+").ok());
+}
+
+TEST(Int128Test, ParseAcceptsLeadingZeros) {
+  auto parsed = ParseInt128("000123");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value() == static_cast<int128_t>(123));
+  auto negative = ParseInt128("-007");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_TRUE(negative.value() == static_cast<int128_t>(-7));
+}
+
+TEST(Int128Test, UnsignedToStringFullRange) {
+  EXPECT_EQ(UInt128ToString(0), "0");
+  uint128_t umax = ~static_cast<uint128_t>(0);
+  EXPECT_EQ(UInt128ToString(umax),
+            "340282366920938463463374607431768211455");
+}
+
+TEST(Int128Test, NegationEdgeAtInt64Boundary) {
+  // Values straddling the 64-bit boundary must render correctly in both
+  // signs (the low/high-half split in the hash and printer).
+  int128_t v = static_cast<int128_t>(INT64_MAX) + 1;
+  EXPECT_EQ(Int128ToString(v), "9223372036854775808");
+  EXPECT_EQ(Int128ToString(-v), "-9223372036854775808");
 }
 
 TEST(Int128Test, HashDistinguishesSignBit) {

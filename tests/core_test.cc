@@ -281,7 +281,8 @@ TEST(QymeraSimTest, StepCallbackSeesIntermediateStates) {
   QymeraSimulator sim{QymeraOptions{}};
   std::vector<size_t> nnz_per_step;
   sim.set_step_callback(
-      [&](size_t step, const qc::Gate& gate, const sim::SparseState& state) {
+      [&](size_t /*step*/, const qc::Gate& /*gate*/,
+          const sim::SparseState& state) {
         nnz_per_step.push_back(state.NumNonZero());
         return Status::OK();
       });

@@ -1,0 +1,14 @@
+// 4-qubit GHZ preparation, written the way a human would:
+// comments, a classical register, and a final measurement.
+OPENQASM 2.0;
+include "qelib1.inc";
+
+qreg q[4];
+creg c[4];
+
+h  q[0];        // superpose the first qubit
+cx q[0], q[1];  // entangle down the chain
+cx q[1], q[2];
+cx q[2], q[3];
+
+measure q -> c;

@@ -1,0 +1,14 @@
+// Parity check of the classical bitstring 1011 (qubit 0 = LSB): data
+// qubits in their own register, the XOR-accumulating ancilla in another.
+// Register concatenation maps d[0..3] -> qubits 0..3 and a[0] -> qubit 4.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg d[4];
+qreg a[1];
+x d[0];
+x d[2];
+x d[3];
+cx d[0],a[0];
+cx d[1],a[0];
+cx d[2],a[0];
+cx d[3],a[0];

@@ -1,0 +1,12 @@
+// QFT on 3 qubits using the legacy cu1 alias and symbolic pi angles;
+// canonical emission must normalize both.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[2];
+cu1(pi/2) q[1],q[2];
+cu1(pi/4) q[0],q[2];
+h q[1];
+cu1(pi/2) q[0],q[1];
+h q[0];
+swap q[0],q[2];
