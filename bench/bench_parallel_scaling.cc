@@ -1,0 +1,74 @@
+/// \file bench_parallel_scaling.cc
+/// Thread-scaling of the morsel-driven parallel SQL engine on the
+/// gate-application join pipeline: a 16-qubit QFT executed end-to-end at
+/// 1/2/4/8 worker threads. The dominant cost per gate is the state x gate
+/// hash join plus the GROUP BY s aggregation, both of which parallelize; at
+/// --threads=1 the engine takes its byte-identical serial path, so Arg(1) is
+/// the baseline for the speedup ratio.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "circuit/families.h"
+#include "core/qymera_sim.h"
+
+namespace {
+
+using namespace qy;
+
+void BM_Qft16Threads(benchmark::State& state) {
+  const qc::QuantumCircuit circuit = qc::Qft(16);
+  core::QymeraOptions qopts;
+  qopts.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    core::QymeraSimulator simulator(qopts);
+    auto summary = simulator.Execute(circuit);
+    if (!summary.ok()) {
+      state.SkipWithError(summary.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(summary->final_rows);
+  }
+}
+BENCHMARK(BM_Qft16Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Same sweep in single-query (chained CTE) mode, where the whole circuit is
+/// one pipeline and the parallel operators cover every gate application.
+void BM_Qft12SingleQueryThreads(benchmark::State& state) {
+  const qc::QuantumCircuit circuit = qc::Qft(12);
+  core::QymeraOptions qopts;
+  qopts.mode = core::QymeraOptions::Mode::kSingleQuery;
+  qopts.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    core::QymeraSimulator simulator(qopts);
+    auto summary = simulator.Execute(circuit);
+    if (!summary.ok()) {
+      state.SkipWithError(summary.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(summary->final_rows);
+  }
+}
+BENCHMARK(BM_Qft12SingleQueryThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== parallel scaling: morsel-driven SQL engine ====\n");
+  std::printf("hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "common/memory_tracker.h"
 
+#include <cassert>
+
 namespace qy {
 
 Status MemoryTracker::Reserve(uint64_t bytes) {
@@ -34,7 +36,18 @@ void MemoryTracker::ReserveUnchecked(uint64_t bytes) {
 }
 
 void MemoryTracker::Release(uint64_t bytes) {
-  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  // Releasing more than is reserved is a caller bug (double release or a
+  // reserve/release imbalance); with a plain fetch_sub it would wrap used_
+  // to ~2^64 and every later Reserve would fail. Assert in debug builds and
+  // clamp at zero in release builds so concurrent releases stay safe.
+  uint64_t prior = used_.load(std::memory_order_relaxed);
+  while (true) {
+    assert(prior >= bytes && "MemoryTracker::Release underflow");
+    uint64_t next = prior >= bytes ? prior - bytes : 0;
+    if (used_.compare_exchange_weak(prior, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
 }
 
 void MemoryTracker::Reset() {

@@ -1,0 +1,88 @@
+#include "common/thread_pool.h"
+
+#include <exception>
+
+namespace qy {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  size_t n = std::thread::hardware_concurrency();
+  return n < 1 ? 1 : n;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::Spawn(std::function<Status()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    Status s = Status::OK();
+    try {
+      s = fn();
+    } catch (const std::exception& e) {
+      s = Status::Internal(std::string("task threw: ") + e.what());
+    } catch (...) {
+      s = Status::Internal("task threw a non-standard exception");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!s.ok() && status_.ok()) status_ = std::move(s);
+    --pending_;
+    cv_.notify_all();
+  });
+}
+
+void TaskGroup::WaitUntilBelow(size_t limit) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this, limit] { return pending_ < limit; });
+}
+
+Status TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  return status_;
+}
+
+}  // namespace qy

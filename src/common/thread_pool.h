@@ -1,0 +1,88 @@
+/// \file thread_pool.h
+/// Fixed-size worker pool and structured task groups for morsel-driven
+/// parallel query execution.
+///
+/// The execution model is strictly two-level: a single coordinator thread
+/// (the one driving the Volcano tree) spawns leaf tasks onto the pool and
+/// joins them via TaskGroup. Tasks never pull from operators or spawn
+/// further tasks, so pool workers can never block on each other and the
+/// scheme is deadlock-free by construction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qy {
+
+/// A fixed set of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (floored at 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains already-submitted tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue one task. Must not be called after destruction has begun.
+  void Submit(std::function<void()> task);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Scatters Status-returning tasks onto a pool and joins them.
+///
+/// The first non-OK Status wins; thrown exceptions are converted to
+/// StatusCode::kInternal. Every spawned task always runs to completion even
+/// after an error has been recorded — callers may rely on task side effects
+/// (e.g. sequence bumps) for their own ordering protocols.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  /// Joins any still-pending tasks (errors are dropped; call Wait() to
+  /// observe them).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submit one task to the pool.
+  void Spawn(std::function<Status()> fn);
+
+  /// Backpressure: block until fewer than `limit` spawned tasks are pending.
+  void WaitUntilBelow(size_t limit);
+
+  /// Join all spawned tasks and return the first error (OK if none).
+  Status Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+  Status status_ = Status::OK();
+};
+
+}  // namespace qy

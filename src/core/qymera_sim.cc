@@ -102,27 +102,29 @@ Result<RunSummary> QymeraSimulator::ExecuteInternal(
   return summary;
 }
 
-Result<RunSummary> QymeraSimulator::Execute(const qc::QuantumCircuit& circuit) {
+sql::DatabaseOptions QymeraSimulator::MakeDbOptions() const {
   sql::DatabaseOptions dopts;
   dopts.memory_budget_bytes = options_.memory_budget_bytes;
   dopts.enable_spill = qopts_.enable_spill;
   dopts.chunk_size = qopts_.chunk_size;
-  sql::Database db(dopts);
+  dopts.num_threads = qopts_.num_threads;
+  return dopts;
+}
+
+Result<RunSummary> QymeraSimulator::Execute(const qc::QuantumCircuit& circuit) {
+  sql::Database db(MakeDbOptions());
   std::string final_table;
   int n = 0;
   QY_ASSIGN_OR_RETURN(RunSummary summary,
                       ExecuteInternal(circuit, &db, &final_table, &n));
+  summary.operator_profile = db.profile().ToString();
   metrics_ = summary.metrics;
   return summary;
 }
 
 Result<sim::SparseState> QymeraSimulator::Run(
     const qc::QuantumCircuit& circuit) {
-  sql::DatabaseOptions dopts;
-  dopts.memory_budget_bytes = options_.memory_budget_bytes;
-  dopts.enable_spill = qopts_.enable_spill;
-  dopts.chunk_size = qopts_.chunk_size;
-  sql::Database db(dopts);
+  sql::Database db(MakeDbOptions());
   std::string final_table;
   int n = 0;
   QY_ASSIGN_OR_RETURN(RunSummary summary,
@@ -131,6 +133,7 @@ Result<sim::SparseState> QymeraSimulator::Run(
       sim::SparseState state,
       ReadStateTable(&db, final_table, n, options_.prune_epsilon));
   metrics_ = summary.metrics;
+  last_operator_profile_ = db.profile().ToString();
   return state;
 }
 

@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "core/fusion.h"
 #include "core/translator.h"
@@ -41,6 +42,11 @@ struct QymeraOptions {
 
   /// Engine vector size.
   size_t chunk_size = 2048;
+
+  /// Worker threads for the relational engine's morsel-driven parallelism.
+  /// 0 = hardware concurrency (the default), 1 = fully serial execution
+  /// (byte-identical to the pre-parallel engine).
+  size_t num_threads = 0;
 };
 
 /// Row-count/norm summary of a run that avoids materializing the state in
@@ -51,6 +57,8 @@ struct RunSummary {
   double norm_squared = 0;
   uint64_t max_intermediate_rows = 0;
   uint64_t rows_spilled = 0;
+  /// Per-operator stats rendering (sql::QueryProfile::ToString()).
+  std::string operator_profile;
   sim::SimMetrics metrics;
 };
 
@@ -81,7 +89,14 @@ class QymeraSimulator : public sim::Simulator {
 
   const QymeraOptions& qymera_options() const { return qopts_; }
 
+  /// Per-operator stats of the most recent Run() (empty before any run;
+  /// Execute() returns the profile in RunSummary instead).
+  const std::string& last_operator_profile() const {
+    return last_operator_profile_;
+  }
+
  private:
+  sql::DatabaseOptions MakeDbOptions() const;
   Result<RunSummary> ExecuteInternal(const qc::QuantumCircuit& circuit,
                                      sql::Database* db,
                                      std::string* final_table,
@@ -89,6 +104,7 @@ class QymeraSimulator : public sim::Simulator {
 
   QymeraOptions qopts_;
   StepCallback step_callback_;
+  std::string last_operator_profile_;
 };
 
 }  // namespace qy::core

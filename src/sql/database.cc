@@ -10,9 +10,27 @@ namespace qy::sql {
 
 Database::Database(DatabaseOptions options)
     : options_(options), tracker_(options.memory_budget_bytes),
-      catalog_(&tracker_) {}
+      catalog_(&tracker_) {
+  num_threads_ = options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                          : options.num_threads;
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
+}
 
 Database::~Database() = default;
+
+ExecContext Database::MakeContext() {
+  ExecContext ctx;
+  ctx.tracker = &tracker_;
+  ctx.temp_files = &temp_files_;
+  ctx.chunk_size = options_.chunk_size;
+  ctx.enable_spill = options_.enable_spill;
+  ctx.num_threads = num_threads_;
+  ctx.pool = pool_.get();
+  ctx.profile = &profile_;
+  return ctx;
+}
 
 Result<QueryResult> Database::Execute(const std::string& sql) {
   QY_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
@@ -105,11 +123,7 @@ Result<QueryResult> Database::ExecuteStatement(const Statement& stmt) {
             Table * target,
             catalog_.CreateTable(create.table_name, plan->output_schema,
                                  create.or_replace));
-        ExecContext ctx;
-        ctx.tracker = &tracker_;
-        ctx.temp_files = &temp_files_;
-        ctx.chunk_size = options_.chunk_size;
-        ctx.enable_spill = options_.enable_spill;
+        ExecContext ctx = MakeContext();
         Status exec_status = ExecutePlan(*plan, &ctx, target);
         stats.rows_spilled += ctx.rows_spilled;
         stats.spill_partitions += ctx.spill_partitions;
@@ -192,9 +206,7 @@ Result<QueryResult> Database::ExecuteStatement(const Statement& stmt) {
           constant_select.items.push_back(std::move(item));
           QY_ASSIGN_OR_RETURN(PlanNodePtr plan,
                               BindSelect(constant_select, catalog_, empty_scope));
-          ExecContext ctx;
-          ctx.tracker = &tracker_;
-          ctx.temp_files = &temp_files_;
+          ExecContext ctx = MakeContext();
           Table sink("", plan->output_schema, nullptr);
           QY_RETURN_IF_ERROR(ExecutePlan(*plan, &ctx, &sink));
           if (sink.NumRows() != 1) {
@@ -240,11 +252,7 @@ Result<std::unique_ptr<Table>> Database::SelectToTable(
     temps->push_back(std::move(table));
   }
   QY_ASSIGN_OR_RETURN(PlanNodePtr plan, BindSelect(select, catalog_, scope));
-  ExecContext ctx;
-  ctx.tracker = &tracker_;
-  ctx.temp_files = &temp_files_;
-  ctx.chunk_size = options_.chunk_size;
-  ctx.enable_spill = options_.enable_spill;
+  ExecContext ctx = MakeContext();
   auto sink = std::make_unique<Table>("", plan->output_schema, &tracker_);
   QY_RETURN_IF_ERROR(ExecutePlan(*plan, &ctx, sink.get()));
   stats->rows_spilled += ctx.rows_spilled;

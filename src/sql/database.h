@@ -16,8 +16,10 @@
 
 #include "common/memory_tracker.h"
 #include "common/temp_file.h"
+#include "common/thread_pool.h"
 #include "sql/binder.h"
 #include "sql/catalog.h"
+#include "sql/executor.h"
 #include "sql/parser.h"
 #include "sql/query_result.h"
 
@@ -30,6 +32,9 @@ struct DatabaseOptions {
   bool enable_spill = true;
   /// Vector size of the execution engine.
   size_t chunk_size = 2048;
+  /// Worker threads for morsel-driven parallel execution. 1 = serial
+  /// (byte-identical legacy behavior); 0 = hardware concurrency.
+  size_t num_threads = 1;
 };
 
 class Database {
@@ -54,6 +59,13 @@ class Database {
   TempFileManager& temp_files() { return temp_files_; }
   const DatabaseOptions& options() const { return options_; }
 
+  /// Effective worker-thread count (options().num_threads with 0 resolved
+  /// to hardware concurrency).
+  size_t num_threads() const { return num_threads_; }
+
+  /// Per-operator execution statistics, cumulative over this Database.
+  const QueryProfile& profile() const { return profile_; }
+
   /// Total rows spilled to disk by queries so far.
   uint64_t total_rows_spilled() const { return total_rows_spilled_; }
 
@@ -65,10 +77,16 @@ class Database {
       const SelectStmt& select, CteScope scope,
       std::vector<std::unique_ptr<Table>>* temps, ExecStats* stats);
 
+  /// Build the shared ExecContext for one query execution.
+  ExecContext MakeContext();
+
   DatabaseOptions options_;
   MemoryTracker tracker_;
   TempFileManager temp_files_;
   Catalog catalog_;
+  size_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  ///< non-null iff num_threads_ > 1
+  QueryProfile profile_;
   uint64_t total_rows_spilled_ = 0;
 };
 

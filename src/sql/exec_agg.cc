@@ -9,6 +9,9 @@
 /// recursing with deeper hash bits when a single partition still exceeds the
 /// budget. This mirrors classic Grace/hybrid hash aggregation and is the
 /// mechanism behind Qymera's out-of-core simulation (paper Sec. 3.3).
+#include <chrono>
+#include <condition_variable>
+#include <memory>
 #include <unordered_map>
 
 #include "sql/executor.h"
@@ -356,39 +359,39 @@ class HashAggNode : public ExecNode {
   HashAggNode(const PlanNode& plan, std::unique_ptr<ExecNode> child,
               ExecContext* ctx)
       : plan_(plan), child_(std::move(child)), ctx_(ctx),
-        reservation_(ctx->tracker), table_(plan) {}
+        reservation_(ctx->tracker), table_(plan) {
+    if (ctx->profile != nullptr) {
+      profile_ = ctx->profile;
+    }
+  }
+
+  ~HashAggNode() override {
+    if (profile_ != nullptr) {
+      profile_->Record("HashAggregate", rows_out_, seconds_);
+    }
+  }
 
   Status Init() override {
+    auto start = std::chrono::steady_clock::now();
+    Status s = InitInternal();
+    seconds_ += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    return s;
+  }
+
+  Status InitInternal() {
     QY_RETURN_IF_ERROR(child_->Init());
     table_.EnsureScalarGroup();
-    while (true) {
-      DataChunk in;
-      bool child_done = false;
-      QY_RETURN_IF_ERROR(child_->Next(&in, &child_done));
-      if (child_done) break;
-      size_t n = in.NumRows();
-      if (n == 0) continue;
-      // Evaluate group keys and aggregate arguments for the whole chunk.
-      std::vector<ColumnVector> keys(plan_.group_keys.size());
-      for (size_t k = 0; k < plan_.group_keys.size(); ++k) {
-        QY_RETURN_IF_ERROR(plan_.group_keys[k]->Evaluate(in, &keys[k]));
-      }
-      std::vector<ColumnVector> args(plan_.aggs.size());
-      for (size_t a = 0; a < plan_.aggs.size(); ++a) {
-        if (plan_.aggs[a].arg) {
-          QY_RETURN_IF_ERROR(plan_.aggs[a].arg->Evaluate(in, &args[a]));
-        }
-      }
-      for (size_t r = 0; r < n; ++r) {
-        uint32_t g = table_.GroupIndex(keys, r);
-        for (size_t a = 0; a < plan_.aggs.size(); ++a) {
-          table_.Update(a, g, plan_.aggs[a].arg ? &args[a] : nullptr, r);
-        }
-      }
-      QY_RETURN_IF_ERROR(CheckMemoryAndMaybeSpill());
+    bool parallel = ctx_->pool != nullptr && ctx_->num_threads > 1 &&
+                    !plan_.group_keys.empty();
+    if (parallel) {
+      QY_RETURN_IF_ERROR(ConsumeParallel());
+    } else {
+      QY_RETURN_IF_ERROR(ConsumeSerial());
     }
     if (spilled_) {
-      QY_RETURN_IF_ERROR(FlushTable(0));
+      QY_RETURN_IF_ERROR(FlushTable(table_, 0));
       // Release in-memory reservation; partitions are on disk.
       reservation_.ReleaseAll();
       table_.Clear();
@@ -405,6 +408,16 @@ class HashAggNode : public ExecNode {
   }
 
   Status Next(DataChunk* out, bool* done) override {
+    auto start = std::chrono::steady_clock::now();
+    Status s = NextInternal(out, done);
+    seconds_ += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    if (s.ok() && !*done) rows_out_ += out->NumRows();
+    return s;
+  }
+
+  Status NextInternal(DataChunk* out, bool* done) {
     out->columns.clear();
     if (!emit_from_partitions_) {
       uint32_t total = static_cast<uint32_t>(table_.NumGroups());
@@ -450,6 +463,165 @@ class HashAggNode : public ExecNode {
     int depth;
   };
 
+  /// Serial consume: identical to the pre-parallel engine (threads=1 keeps
+  /// byte-identical behavior, including floating-point accumulation order).
+  Status ConsumeSerial() {
+    while (true) {
+      DataChunk in;
+      bool child_done = false;
+      QY_RETURN_IF_ERROR(child_->Next(&in, &child_done));
+      if (child_done) break;
+      size_t n = in.NumRows();
+      if (n == 0) continue;
+      // Evaluate group keys and aggregate arguments for the whole chunk.
+      std::vector<ColumnVector> keys(plan_.group_keys.size());
+      for (size_t k = 0; k < plan_.group_keys.size(); ++k) {
+        QY_RETURN_IF_ERROR(plan_.group_keys[k]->Evaluate(in, &keys[k]));
+      }
+      std::vector<ColumnVector> args(plan_.aggs.size());
+      for (size_t a = 0; a < plan_.aggs.size(); ++a) {
+        if (plan_.aggs[a].arg) {
+          QY_RETURN_IF_ERROR(plan_.aggs[a].arg->Evaluate(in, &args[a]));
+        }
+      }
+      for (size_t r = 0; r < n; ++r) {
+        uint32_t g = table_.GroupIndex(keys, r);
+        for (size_t a = 0; a < plan_.aggs.size(); ++a) {
+          table_.Update(a, g, plan_.aggs[a].arg ? &args[a] : nullptr, r);
+        }
+      }
+      QY_RETURN_IF_ERROR(CheckMemoryAndMaybeSpill());
+    }
+    return Status::OK();
+  }
+
+  /// One of the fixed partial-aggregation partitions of the parallel
+  /// consume. Input chunks are assigned round-robin by arrival index and
+  /// applied in that order (`next_seq` sequencing), so each partial's
+  /// content — including floating-point accumulation order — is a pure
+  /// function of the input stream, independent of thread count and
+  /// scheduling. Workers evaluate key/argument expressions outside the lock
+  /// and only serialize on the group-table update.
+  struct Partial {
+    Partial(const PlanNode& plan, MemoryTracker* tracker)
+        : table(plan), reservation(tracker) {}
+    GroupTable table;
+    ScopedReservation reservation;
+    std::mutex mu;
+    std::condition_variable cv;
+    uint64_t next_seq = 0;
+  };
+
+  /// The number of partial tables is a fixed constant (not the thread
+  /// count): it determines the merge structure and therefore the result's
+  /// floating-point rounding, which must not depend on --threads.
+  static constexpr size_t kParallelPartials = 8;
+
+  Status ConsumeParallel() {
+    std::vector<std::unique_ptr<Partial>> partials;
+    partials.reserve(kParallelPartials);
+    for (size_t p = 0; p < kParallelPartials; ++p) {
+      partials.push_back(std::make_unique<Partial>(plan_, ctx_->tracker));
+    }
+    std::mutex spill_mu;  // guards partitions_, spilled_ and ctx_ counters
+    uint64_t seqs[kParallelPartials] = {};
+    TaskGroup group(ctx_->pool);
+    Status pull_status = Status::OK();
+    size_t chunk_idx = 0;
+    while (true) {
+      auto in = std::make_shared<DataChunk>();
+      bool child_done = false;
+      pull_status = child_->Next(in.get(), &child_done);
+      if (!pull_status.ok() || child_done) break;
+      if (in->NumRows() == 0) continue;
+      size_t p = chunk_idx++ % kParallelPartials;
+      Partial* part = partials[p].get();
+      uint64_t seq = seqs[p]++;
+      group.WaitUntilBelow(ctx_->num_threads * 4);
+      group.Spawn([this, in, part, seq, &spill_mu]() -> Status {
+        // Fallible work before the ordered section; failures are carried
+        // into it so next_seq is always bumped (otherwise later chunks of
+        // this partial would wait forever).
+        Status eval = Status::OK();
+        std::vector<ColumnVector> keys(plan_.group_keys.size());
+        std::vector<ColumnVector> args(plan_.aggs.size());
+        for (size_t k = 0; eval.ok() && k < plan_.group_keys.size(); ++k) {
+          eval = plan_.group_keys[k]->Evaluate(*in, &keys[k]);
+        }
+        for (size_t a = 0; eval.ok() && a < plan_.aggs.size(); ++a) {
+          if (plan_.aggs[a].arg) {
+            eval = plan_.aggs[a].arg->Evaluate(*in, &args[a]);
+          }
+        }
+        std::unique_lock<std::mutex> lock(part->mu);
+        part->cv.wait(lock, [part, seq] { return part->next_seq == seq; });
+        Status s = eval.ok() ? ApplyChunkLocked(part, *in, keys, args, spill_mu)
+                             : eval;
+        ++part->next_seq;
+        part->cv.notify_all();
+        return s;
+      });
+    }
+    Status task_status = group.Wait();
+    QY_RETURN_IF_ERROR(pull_status);
+    QY_RETURN_IF_ERROR(task_status);
+    // Merge phase (serial, fixed partial order → deterministic output).
+    if (spilled_) {
+      for (auto& part : partials) {
+        QY_RETURN_IF_ERROR(FlushTable(part->table, 0));
+        part->table.Clear();
+        part->reservation.ReleaseAll();
+      }
+      return Status::OK();
+    }
+    std::string buf;
+    for (auto& part : partials) {
+      uint32_t total = static_cast<uint32_t>(part->table.NumGroups());
+      for (uint32_t g = 0; g < total; ++g) {
+        buf.clear();
+        part->table.SerializeGroup(g, &buf);
+        QY_RETURN_IF_ERROR(table_.MergeRecord(buf));
+      }
+      part->table.Clear();
+      part->reservation.ReleaseAll();
+      QY_RETURN_IF_ERROR(CheckMemoryAndMaybeSpill());
+    }
+    return Status::OK();
+  }
+
+  /// Apply one chunk to `part` (whose mutex is held by the caller), then
+  /// re-check the partial's memory reservation, spilling the partial to the
+  /// shared partition files under pressure.
+  Status ApplyChunkLocked(Partial* part, const DataChunk& in,
+                          const std::vector<ColumnVector>& keys,
+                          const std::vector<ColumnVector>& args,
+                          std::mutex& spill_mu) {
+    size_t n = in.NumRows();
+    for (size_t r = 0; r < n; ++r) {
+      uint32_t g = part->table.GroupIndex(keys, r);
+      for (size_t a = 0; a < plan_.aggs.size(); ++a) {
+        part->table.Update(a, g, plan_.aggs[a].arg ? &args[a] : nullptr, r);
+      }
+    }
+    uint64_t need = part->table.ApproxBytes();
+    uint64_t held = part->reservation.held();
+    if (need <= held) return Status::OK();
+    Status s = part->reservation.Reserve(need - held);
+    if (s.ok()) return s;
+    if (!ctx_->enable_spill || ctx_->temp_files == nullptr) {
+      return Status::OutOfMemory(
+          "hash aggregate exceeds memory budget and spilling is disabled (" +
+          std::to_string(part->table.NumGroups()) +
+          " groups in parallel partition)");
+    }
+    std::lock_guard<std::mutex> spill_lock(spill_mu);
+    spilled_ = true;
+    QY_RETURN_IF_ERROR(FlushTable(part->table, 0));
+    part->table.Clear();
+    part->reservation.ReleaseAll();
+    return Status::OK();
+  }
+
   Status CheckMemoryAndMaybeSpill() {
     uint64_t need = table_.ApproxBytes();
     uint64_t held = reservation_.held();
@@ -463,7 +635,7 @@ class HashAggNode : public ExecNode {
     }
     // Flush all current groups to disk partitions and start over.
     spilled_ = true;
-    QY_RETURN_IF_ERROR(FlushTable(0));
+    QY_RETURN_IF_ERROR(FlushTable(table_, 0));
     table_.Clear();
     reservation_.ReleaseAll();
     return Status::OK();
@@ -490,15 +662,15 @@ class HashAggNode : public ExecNode {
     return static_cast<int>((hash >> shift) & (kNumPartitions - 1));
   }
 
-  /// Serialize every in-memory group into the current partition set.
-  Status FlushTable(int depth) {
+  /// Serialize every group of `table` into the current partition set.
+  Status FlushTable(const GroupTable& table, int depth) {
     QY_RETURN_IF_ERROR(EnsurePartitions(depth));
-    uint32_t total = static_cast<uint32_t>(table_.NumGroups());
+    uint32_t total = static_cast<uint32_t>(table.NumGroups());
     std::string buf;
     for (uint32_t g = 0; g < total; ++g) {
       buf.clear();
-      table_.SerializeGroup(g, &buf);
-      int p = PartitionOf(table_.GroupHash(g), depth);
+      table.SerializeGroup(g, &buf);
+      int p = PartitionOf(table.GroupHash(g), depth);
       QY_RETURN_IF_ERROR(partitions_[p].writer->Write(buf));
       ++partitions_[p].records;
       ++ctx_->rows_spilled;
@@ -612,6 +784,10 @@ class HashAggNode : public ExecNode {
   std::vector<PendingPartition> pending_;
   bool emit_from_partitions_ = false;
   uint32_t emit_cursor_ = 0;
+
+  QueryProfile* profile_ = nullptr;
+  uint64_t rows_out_ = 0;
+  double seconds_ = 0;
 };
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <unordered_map>
 
 #include "common/strings.h"
@@ -8,19 +10,94 @@
 
 namespace qy::sql {
 
+void QueryProfile::Record(const char* name, uint64_t rows_out,
+                          double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (OperatorProfile& op : ops_) {
+    if (op.name == name) {
+      ++op.invocations;
+      op.rows_out += rows_out;
+      op.seconds += seconds;
+      return;
+    }
+  }
+  ops_.push_back({name, 1, rows_out, seconds});
+}
+
+std::vector<OperatorProfile> QueryProfile::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+std::string QueryProfile::ToString() const {
+  std::string out;
+  for (const OperatorProfile& op : Snapshot()) {
+    out += op.name + ": invocations=" + std::to_string(op.invocations) +
+           " rows_out=" + std::to_string(op.rows_out) +
+           " seconds=" + std::to_string(op.seconds) + "\n";
+  }
+  return out;
+}
+
 namespace {
+
+/// Per-node row/time counters, flushed to the context profile on operator
+/// teardown (when the plan's ExecNode tree is destroyed).
+struct NodeStats {
+  NodeStats(const char* name, ExecContext* ctx)
+      : name(name), profile(ctx->profile) {}
+  ~NodeStats() {
+    if (profile != nullptr) profile->Record(name, rows_out, seconds);
+  }
+  const char* name;
+  QueryProfile* profile;
+  uint64_t rows_out = 0;
+  double seconds = 0;
+};
+
+/// Accumulates elapsed wall time into `*acc` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* acc)
+      : acc_(acc), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    *acc_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_)
+                 .count();
+  }
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 // ---------------------------------------------------------------------------
 // Scan
 // ---------------------------------------------------------------------------
 
+/// Materialize rows [offset, offset+count) of `table` into `out` — the
+/// morsel primitive shared by the serial scan and the parallel probe source.
+void MaterializeRange(const Table& table, uint64_t offset, uint64_t count,
+                      DataChunk* out) {
+  out->columns.clear();
+  out->columns.reserve(table.schema().NumColumns());
+  for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
+    ColumnVector col(table.schema().column(c).type);
+    col.Reserve(count);
+    table.ScanColumn(c, offset, count, &col);
+    out->columns.push_back(std::move(col));
+  }
+}
+
 class ScanNode : public ExecNode {
  public:
-  ScanNode(const PlanNode& plan, ExecContext* ctx) : plan_(plan), ctx_(ctx) {}
+  ScanNode(const PlanNode& plan, ExecContext* ctx)
+      : plan_(plan), ctx_(ctx), stats_("Scan", ctx) {}
 
   Status Init() override { return Status::OK(); }
 
   Status Next(DataChunk* out, bool* done) override {
+    ScopedTimer timer(&stats_.seconds);
     const Table& table = *plan_.table;
     out->columns.clear();
     if (offset_ >= table.NumRows()) {
@@ -30,20 +107,16 @@ class ScanNode : public ExecNode {
     *done = false;
     uint64_t count = std::min<uint64_t>(ctx_->chunk_size,
                                         table.NumRows() - offset_);
-    out->columns.reserve(table.schema().NumColumns());
-    for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
-      ColumnVector col(table.schema().column(c).type);
-      col.Reserve(count);
-      table.ScanColumn(c, offset_, count, &col);
-      out->columns.push_back(std::move(col));
-    }
+    MaterializeRange(table, offset_, count, out);
     offset_ += count;
+    stats_.rows_out += count;
     return Status::OK();
   }
 
  private:
   const PlanNode& plan_;
   ExecContext* ctx_;
+  NodeStats stats_;
   uint64_t offset_ = 0;
 };
 
@@ -70,12 +143,14 @@ void SelectRows(const DataChunk& src, const ColumnVector& mask,
 
 class FilterNode : public ExecNode {
  public:
-  FilterNode(const PlanNode& plan, std::unique_ptr<ExecNode> child)
-      : plan_(plan), child_(std::move(child)) {}
+  FilterNode(const PlanNode& plan, std::unique_ptr<ExecNode> child,
+             ExecContext* ctx)
+      : plan_(plan), child_(std::move(child)), stats_("Filter", ctx) {}
 
   Status Init() override { return child_->Init(); }
 
   Status Next(DataChunk* out, bool* done) override {
+    ScopedTimer timer(&stats_.seconds);
     out->columns.clear();
     while (true) {
       DataChunk in;
@@ -91,6 +166,7 @@ class FilterNode : public ExecNode {
       DataChunk filtered;
       SelectRows(in, mask, &filtered);
       if (filtered.NumRows() > 0) {
+        stats_.rows_out += filtered.NumRows();
         *out = std::move(filtered);
         *done = false;
         return Status::OK();
@@ -102,6 +178,7 @@ class FilterNode : public ExecNode {
  private:
   const PlanNode& plan_;
   std::unique_ptr<ExecNode> child_;
+  NodeStats stats_;
 };
 
 // ---------------------------------------------------------------------------
@@ -110,14 +187,16 @@ class FilterNode : public ExecNode {
 
 class ProjectNode : public ExecNode {
  public:
-  ProjectNode(const PlanNode& plan, std::unique_ptr<ExecNode> child)
-      : plan_(plan), child_(std::move(child)) {}
+  ProjectNode(const PlanNode& plan, std::unique_ptr<ExecNode> child,
+              ExecContext* ctx)
+      : plan_(plan), child_(std::move(child)), stats_("Project", ctx) {}
 
   Status Init() override {
     return child_ ? child_->Init() : Status::OK();
   }
 
   Status Next(DataChunk* out, bool* done) override {
+    ScopedTimer timer(&stats_.seconds);
     out->columns.clear();
     DataChunk in;
     bool child_done = false;
@@ -144,12 +223,14 @@ class ProjectNode : public ExecNode {
       QY_RETURN_IF_ERROR(proj->Evaluate(in, &col));
       out->columns.push_back(std::move(col));
     }
+    stats_.rows_out += out->NumRows();
     return Status::OK();
   }
 
  private:
   const PlanNode& plan_;
   std::unique_ptr<ExecNode> child_;
+  NodeStats stats_;
   bool emitted_dual_ = false;
 };
 
@@ -212,9 +293,10 @@ class SortNode : public ExecNode {
   SortNode(const PlanNode& plan, std::unique_ptr<ExecNode> child,
            ExecContext* ctx)
       : plan_(plan), child_(std::move(child)), ctx_(ctx),
-        reservation_(ctx->tracker) {}
+        reservation_(ctx->tracker), stats_("Sort", ctx) {}
 
   Status Init() override {
+    ScopedTimer timer(&stats_.seconds);
     QY_RETURN_IF_ERROR(child_->Init());
     // Materialize input.
     DataChunk all;
@@ -261,6 +343,7 @@ class SortNode : public ExecNode {
   }
 
   Status Next(DataChunk* out, bool* done) override {
+    ScopedTimer timer(&stats_.seconds);
     out->columns.clear();
     size_t n = order_.size();
     if (cursor_ >= n) {
@@ -279,6 +362,7 @@ class SortNode : public ExecNode {
       }
     }
     cursor_ += count;
+    stats_.rows_out += count;
     return Status::OK();
   }
 
@@ -287,6 +371,7 @@ class SortNode : public ExecNode {
   std::unique_ptr<ExecNode> child_;
   ExecContext* ctx_;
   ScopedReservation reservation_;
+  NodeStats stats_;
   DataChunk sorted_;
   std::vector<uint32_t> order_;
   size_t cursor_ = 0;
@@ -296,15 +381,18 @@ class SortNode : public ExecNode {
 // Hash join (equi) / cross product
 // ---------------------------------------------------------------------------
 
-/// 128-bit-key hash entry for the single-integer-key fast path.
+/// 128-bit hash key for the single-integer-key fast path. Rows with NULL
+/// keys are dropped on both the build and the probe side *before* an IntKey
+/// is ever constructed (SQL equi-join semantics: NULL = NULL is not true),
+/// so equality here is plain value equality — there is deliberately no null
+/// flag that could make two NULL keys compare equal.
 struct IntKey {
   int128_t v;
-  bool null = false;
-  bool operator==(const IntKey& o) const { return null == o.null && v == o.v; }
+  bool operator==(const IntKey& o) const { return v == o.v; }
 };
 struct IntKeyHash {
   size_t operator()(const IntKey& k) const {
-    return k.null ? 0x1234567 : HashUInt128(static_cast<uint128_t>(k.v));
+    return HashUInt128(static_cast<uint128_t>(k.v));
   }
 };
 
@@ -313,9 +401,10 @@ class HashJoinNode : public ExecNode {
   HashJoinNode(const PlanNode& plan, std::unique_ptr<ExecNode> left,
                std::unique_ptr<ExecNode> right, ExecContext* ctx)
       : plan_(plan), left_(std::move(left)), right_(std::move(right)),
-        ctx_(ctx), reservation_(ctx->tracker) {}
+        ctx_(ctx), reservation_(ctx->tracker), stats_("HashJoin", ctx) {}
 
   Status Init() override {
+    ScopedTimer timer(&stats_.seconds);
     QY_RETURN_IF_ERROR(left_->Init());
     QY_RETURN_IF_ERROR(right_->Init());
     // Build phase: materialize right side.
@@ -329,12 +418,23 @@ class HashJoinNode : public ExecNode {
           build_.columns.emplace_back(col.type());
         }
       }
-      Status reserve = reservation_.Reserve(in.ApproxBytes() + 64);
+      uint64_t requested = in.ApproxBytes() + 64;
+      Status reserve = reservation_.Reserve(requested);
       if (!reserve.ok()) {
+        // Drop the partially materialized build side and give the budget
+        // back before failing, so the error does not leave the tracker
+        // charged for data that will never be probed.
+        uint64_t held = reservation_.held();
+        uint64_t rows = build_.NumRows();
+        build_ = DataChunk();
+        reservation_.ReleaseAll();
         return Status::OutOfMemory(
-            "hash join build side exceeds memory budget (" +
-            std::to_string(build_.NumRows()) +
-            " rows); Qymera gate tables are expected to be small");
+            "hash join build side exceeds memory budget: requested " +
+            std::to_string(requested) + " more bytes with " +
+            std::to_string(held) + " bytes already held (" +
+            std::to_string(rows) +
+            " rows materialized); Qymera gate tables are expected to be "
+            "small");
       }
       for (size_t c = 0; c < in.columns.size(); ++c) {
         for (size_t r = 0; r < in.NumRows(); ++r) {
@@ -362,29 +462,39 @@ class HashJoinNode : public ExecNode {
           if (kc.IsNull(r)) continue;  // NULL keys never match
           IntKey key{kc.type() == DataType::kBigInt
                          ? static_cast<int128_t>(kc.i64_data()[r])
-                         : kc.i128_data()[r],
-                     false};
+                         : kc.i128_data()[r]};
           fast_table_[key].push_back(static_cast<uint32_t>(r));
         }
       } else {
         generic_table_.reserve(n * 2);
         for (size_t r = 0; r < n; ++r) {
+          if (AnyKeyNull(keys, r)) continue;  // NULL keys never match
           std::string key;
-          bool has_null = false;
-          for (const auto& kc : keys) {
-            if (kc.IsNull(r)) has_null = true;
-            SerializeValue(kc, r, &key);
-          }
-          if (has_null) continue;
+          for (const auto& kc : keys) SerializeValue(kc, r, &key);
           generic_table_[key].push_back(static_cast<uint32_t>(r));
         }
+      }
+    }
+    // Morsel-driven parallel probe: enabled for equi-joins when a pool is
+    // available. When the probe child is a bare table scan the workers pull
+    // row-range morsels straight from the table; otherwise chunks are pulled
+    // serially from the child and only probed in parallel.
+    parallel_ = ctx_->pool != nullptr && ctx_->num_threads > 1 &&
+                !plan_.right_keys.empty();
+    if (parallel_ && plan_.children[0]->kind == PlanNode::Kind::kScan) {
+      scan_source_ = plan_.children[0]->table;
+      if (scan_source_->NumRows() <= ctx_->chunk_size) {
+        parallel_ = false;  // a single morsel parallelizes nothing
+        scan_source_ = nullptr;
       }
     }
     return Status::OK();
   }
 
   Status Next(DataChunk* out, bool* done) override {
+    ScopedTimer timer(&stats_.seconds);
     out->columns.clear();
+    if (parallel_) return NextParallel(out, done);
     while (true) {
       DataChunk probe;
       bool child_done = false;
@@ -395,15 +505,9 @@ class HashJoinNode : public ExecNode {
       }
       if (probe.NumRows() == 0) continue;
       DataChunk joined;
-      QY_RETURN_IF_ERROR(ProbeChunk(probe, &joined));
-      if (plan_.residual && joined.NumRows() > 0) {
-        ColumnVector mask;
-        QY_RETURN_IF_ERROR(plan_.residual->Evaluate(joined, &mask));
-        DataChunk filtered;
-        SelectRows(joined, mask, &filtered);
-        joined = std::move(filtered);
-      }
+      QY_RETURN_IF_ERROR(ProbeAndFilter(probe, &joined));
       if (joined.NumRows() > 0) {
+        stats_.rows_out += joined.NumRows();
         *out = std::move(joined);
         *done = false;
         return Status::OK();
@@ -412,7 +516,105 @@ class HashJoinNode : public ExecNode {
   }
 
  private:
-  Status ProbeChunk(const DataChunk& probe, DataChunk* out) {
+  static bool AnyKeyNull(const std::vector<ColumnVector>& keys, size_t r) {
+    for (const auto& kc : keys) {
+      if (kc.IsNull(r)) return true;
+    }
+    return false;
+  }
+
+  /// Probe one chunk and apply the residual predicate. Thread-safe after
+  /// Init(): reads only the shared immutable build state.
+  Status ProbeAndFilter(const DataChunk& probe, DataChunk* out) const {
+    DataChunk joined;
+    QY_RETURN_IF_ERROR(ProbeChunk(probe, &joined));
+    if (plan_.residual && joined.NumRows() > 0) {
+      ColumnVector mask;
+      QY_RETURN_IF_ERROR(plan_.residual->Evaluate(joined, &mask));
+      DataChunk filtered;
+      SelectRows(joined, mask, &filtered);
+      joined = std::move(filtered);
+    }
+    *out = std::move(joined);
+    return Status::OK();
+  }
+
+  /// Parallel probe with ordered emission: each round dispatches a bounded
+  /// batch of morsels to the pool, then emits the per-morsel outputs in
+  /// morsel order. Output is therefore byte-identical to the serial path at
+  /// any thread count, and the in-flight footprint stays bounded by the
+  /// batch size (no full materialization of the join output).
+  Status NextParallel(DataChunk* out, bool* done) {
+    while (true) {
+      if (ready_pos_ < ready_.size()) {
+        DataChunk chunk = std::move(ready_[ready_pos_++]);
+        if (chunk.NumRows() == 0) continue;
+        stats_.rows_out += chunk.NumRows();
+        *out = std::move(chunk);
+        *done = false;
+        return Status::OK();
+      }
+      ready_.clear();
+      ready_pos_ = 0;
+      bool exhausted = false;
+      QY_RETURN_IF_ERROR(FillBatch(&exhausted));
+      if (exhausted && ready_.empty()) {
+        *done = true;
+        return Status::OK();
+      }
+    }
+  }
+
+  Status FillBatch(bool* exhausted) {
+    const size_t batch = ctx_->num_threads * 4;
+    struct MorselRange {
+      uint64_t offset;
+      uint64_t count;
+    };
+    std::vector<MorselRange> morsels;
+    std::vector<std::shared_ptr<DataChunk>> pulled;
+    if (scan_source_ != nullptr) {
+      uint64_t total = scan_source_->NumRows();
+      while (morsels.size() < batch && scan_offset_ < total) {
+        uint64_t count =
+            std::min<uint64_t>(ctx_->chunk_size, total - scan_offset_);
+        morsels.push_back({scan_offset_, count});
+        scan_offset_ += count;
+      }
+    } else {
+      while (pulled.size() < batch) {
+        auto in = std::make_shared<DataChunk>();
+        bool child_done = false;
+        QY_RETURN_IF_ERROR(left_->Next(in.get(), &child_done));
+        if (child_done) break;
+        if (in->NumRows() == 0) continue;
+        pulled.push_back(std::move(in));
+      }
+    }
+    size_t n = scan_source_ != nullptr ? morsels.size() : pulled.size();
+    if (n == 0) {
+      *exhausted = true;
+      return Status::OK();
+    }
+    ready_.assign(n, DataChunk());
+    TaskGroup group(ctx_->pool);
+    for (size_t i = 0; i < n; ++i) {
+      group.Spawn([this, i, &morsels, &pulled]() -> Status {
+        DataChunk probe;
+        if (scan_source_ != nullptr) {
+          MaterializeRange(*scan_source_, morsels[i].offset, morsels[i].count,
+                           &probe);
+        } else {
+          probe = std::move(*pulled[i]);
+        }
+        return ProbeAndFilter(probe, &ready_[i]);
+      });
+    }
+    *exhausted = false;
+    return group.Wait();
+  }
+
+  Status ProbeChunk(const DataChunk& probe, DataChunk* out) const {
     size_t left_cols = probe.columns.size();
     size_t right_cols = build_.columns.size();
     out->columns.clear();
@@ -447,24 +649,19 @@ class HashJoinNode : public ExecNode {
       // The probe key may bind as BIGINT while build is HUGEINT (or vice
       // versa); IntKey normalizes to int128 so mixed widths compare equal.
       for (size_t r = 0; r < n; ++r) {
-        if (kc.IsNull(r)) continue;
+        if (kc.IsNull(r)) continue;  // NULL keys never match
         IntKey key{kc.type() == DataType::kBigInt
                        ? static_cast<int128_t>(kc.i64_data()[r])
-                       : kc.i128_data()[r],
-                   false};
+                       : kc.i128_data()[r]};
         auto it = fast_table_.find(key);
         if (it == fast_table_.end()) continue;
         for (uint32_t b : it->second) emit(r, b);
       }
     } else {
       for (size_t r = 0; r < n; ++r) {
+        if (AnyKeyNull(keys, r)) continue;  // NULL keys never match
         std::string key;
-        bool has_null = false;
-        for (const auto& kc : keys) {
-          if (kc.IsNull(r)) has_null = true;
-          SerializeValue(kc, r, &key);
-        }
-        if (has_null) continue;
+        for (const auto& kc : keys) SerializeValue(kc, r, &key);
         auto it = generic_table_.find(key);
         if (it == generic_table_.end()) continue;
         for (uint32_t b : it->second) emit(r, b);
@@ -477,10 +674,17 @@ class HashJoinNode : public ExecNode {
   std::unique_ptr<ExecNode> left_, right_;
   ExecContext* ctx_;
   ScopedReservation reservation_;
+  NodeStats stats_;
   DataChunk build_;
   bool use_fast_key_ = false;
   std::unordered_map<IntKey, std::vector<uint32_t>, IntKeyHash> fast_table_;
   std::unordered_map<std::string, std::vector<uint32_t>> generic_table_;
+  // Parallel probe state.
+  bool parallel_ = false;
+  const Table* scan_source_ = nullptr;  ///< morsel source when probe is a scan
+  uint64_t scan_offset_ = 0;
+  std::vector<DataChunk> ready_;  ///< current batch outputs, emitted in order
+  size_t ready_pos_ = 0;
 };
 
 }  // namespace
@@ -497,7 +701,7 @@ Result<std::unique_ptr<ExecNode>> CreateExecNode(const PlanNode& plan,
     case PlanNode::Kind::kFilter: {
       QY_ASSIGN_OR_RETURN(auto child, CreateExecNode(*plan.children[0], ctx));
       return std::unique_ptr<ExecNode>(
-          new FilterNode(plan, std::move(child)));
+          new FilterNode(plan, std::move(child), ctx));
     }
     case PlanNode::Kind::kProject: {
       std::unique_ptr<ExecNode> child;
@@ -505,7 +709,7 @@ Result<std::unique_ptr<ExecNode>> CreateExecNode(const PlanNode& plan,
         QY_ASSIGN_OR_RETURN(child, CreateExecNode(*plan.children[0], ctx));
       }
       return std::unique_ptr<ExecNode>(
-          new ProjectNode(plan, std::move(child)));
+          new ProjectNode(plan, std::move(child), ctx));
     }
     case PlanNode::Kind::kJoin: {
       QY_ASSIGN_OR_RETURN(auto left, CreateExecNode(*plan.children[0], ctx));

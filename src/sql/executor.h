@@ -8,12 +8,41 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
 
 #include "common/memory_tracker.h"
 #include "common/temp_file.h"
+#include "common/thread_pool.h"
 #include "sql/plan.h"
 
 namespace qy::sql {
+
+/// Cumulative statistics for one physical operator kind.
+/// `seconds` is coordinator-side wall time and is inclusive of children
+/// (Volcano pull), so the top operator of a pipeline bounds the total.
+struct OperatorProfile {
+  std::string name;
+  uint64_t invocations = 0;  ///< operator instances torn down
+  uint64_t rows_out = 0;     ///< rows emitted to the parent
+  double seconds = 0;        ///< wall time in Init() + Next()
+};
+
+/// Thread-safe per-operator stats sink, aggregated by operator name across
+/// all queries executed against one Database. Lets the morsel-driven
+/// parallel speedup be observed per operator rather than only end-to-end.
+class QueryProfile {
+ public:
+  void Record(const char* name, uint64_t rows_out, double seconds);
+  std::vector<OperatorProfile> Snapshot() const;
+  /// One line per operator: name, invocations, rows, seconds.
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<OperatorProfile> ops_;
+};
 
 /// Shared execution services and settings.
 struct ExecContext {
@@ -21,6 +50,13 @@ struct ExecContext {
   TempFileManager* temp_files = nullptr;   ///< required when spilling enabled
   size_t chunk_size = 2048;
   bool enable_spill = true;
+  /// Morsel-driven parallelism: operators fan work out over `pool` when it
+  /// is non-null and num_threads > 1; with num_threads == 1 every operator
+  /// takes its serial path (byte-identical legacy behavior).
+  size_t num_threads = 1;
+  ThreadPool* pool = nullptr;
+  /// Optional per-operator stats sink.
+  QueryProfile* profile = nullptr;
   /// Execution statistics (cumulative across operators).
   uint64_t rows_spilled = 0;
   uint64_t spill_partitions = 0;

@@ -35,6 +35,10 @@ int Usage() {
                "sparse mps dd sql-string sql-tensor\n"
                "  --budget-mib=M   memory budget\n"
                "  --fuse=K         enable gate fusion up to K qubits\n"
+               "  --threads=N      SQL engine worker threads "
+               "(0 = hardware concurrency, 1 = serial; qymera-sql)\n"
+               "  --stats          print per-operator execution profile "
+               "(qymera-sql)\n"
                "  --steps          print intermediate states (qymera-sql)\n");
   return 2;
 }
@@ -67,6 +71,8 @@ struct CliOptions {
   std::string backend = "qymera-sql";
   uint64_t budget_mib = 0;
   int fuse = 0;
+  size_t threads = 0;  ///< 0 = hardware concurrency
+  bool stats = false;
   bool steps = false;
 };
 
@@ -78,6 +84,9 @@ CliOptions ParseFlags(int argc, char** argv, int first) {
     else if (arg.rfind("--budget-mib=", 0) == 0)
       out.budget_mib = std::strtoull(arg.c_str() + 13, nullptr, 10);
     else if (arg.rfind("--fuse=", 0) == 0) out.fuse = std::atoi(arg.c_str() + 7);
+    else if (arg.rfind("--threads=", 0) == 0)
+      out.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    else if (arg == "--stats") out.stats = true;
     else if (arg == "--steps") out.steps = true;
   }
   return out;
@@ -133,6 +142,7 @@ int CmdRun(const qc::QuantumCircuit& circuit, const CliOptions& cli) {
     qopts.enable_fusion = true;
     qopts.fusion.max_qubits = cli.fuse;
   }
+  qopts.num_threads = cli.threads;
   auto simulator = bench::MakeSimulator(*backend, options, &qopts);
   if (cli.steps && *backend == bench::Backend::kQymeraSql) {
     auto* qymera = static_cast<core::QymeraSimulator*>(simulator.get());
@@ -157,6 +167,10 @@ int CmdRun(const qc::QuantumCircuit& circuit, const CliOptions& cli) {
               bench::FormatBytes(m.peak_bytes).c_str(), state->NumNonZero(),
               m.backend_stat_name.empty() ? "stat" : m.backend_stat_name.c_str(),
               static_cast<unsigned long long>(m.backend_stat));
+  if (cli.stats && *backend == bench::Backend::kQymeraSql) {
+    auto* qymera = static_cast<core::QymeraSimulator*>(simulator.get());
+    std::printf("%s", qymera->last_operator_profile().c_str());
+  }
   return 0;
 }
 

@@ -350,6 +350,27 @@ TEST(MemoryTrackerTest, ScopedReservationReleases) {
   EXPECT_EQ(t.peak(), 500u);
 }
 
+TEST(MemoryTrackerTest, ReleaseUnderflowIsGuarded) {
+  // Over-releasing is a caller bug: debug builds assert; release builds
+  // clamp at zero instead of wrapping used() to ~2^64 (which would make
+  // every later Reserve fail against a finite budget).
+#ifdef NDEBUG
+  MemoryTracker t(100);
+  ASSERT_TRUE(t.Reserve(10).ok());
+  t.Release(25);
+  EXPECT_EQ(t.used(), 0u);
+  EXPECT_TRUE(t.Reserve(50).ok());
+#else
+  EXPECT_DEATH(
+      {
+        MemoryTracker t(100);
+        (void)t.Reserve(10);
+        t.Release(25);
+      },
+      "underflow");
+#endif
+}
+
 // ---------------------------------------------------------------------------
 // TempFile
 // ---------------------------------------------------------------------------
