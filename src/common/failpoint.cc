@@ -1,0 +1,143 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace qy::failpoint {
+
+namespace {
+
+struct Config {
+  bool armed = false;
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  int skip = 0;
+  int max_hits = -1;
+  uint64_t traversals = 0;
+  uint64_t hits = 0;
+};
+
+std::mutex& Mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, Config>& Registry() {
+  static auto* registry = new std::unordered_map<std::string, Config>();
+  return *registry;
+}
+
+/// Count of armed sites; Check()'s zero-cost fast path when nothing is armed.
+std::atomic<int> g_armed{0};
+
+}  // namespace
+
+void Activate(const std::string& site, StatusCode code, std::string message,
+              int skip, int max_hits) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Config& cfg = Registry()[site];
+  if (!cfg.armed) g_armed.fetch_add(1, std::memory_order_relaxed);
+  cfg = Config{};
+  cfg.armed = true;
+  cfg.code = code;
+  cfg.message = message.empty() ? "injected failure at " + site
+                                : std::move(message);
+  cfg.skip = skip;
+  cfg.max_hits = max_hits;
+}
+
+void Deactivate(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(site);
+  if (it == Registry().end() || !it->second.armed) return;
+  it->second.armed = false;
+  g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DeactivateAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  for (auto& [site, cfg] : Registry()) {
+    if (cfg.armed) g_armed.fetch_sub(1, std::memory_order_relaxed);
+    cfg.armed = false;
+  }
+  Registry().clear();
+}
+
+uint64_t HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+uint64_t TraversalCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.traversals;
+}
+
+bool AnyActive() { return g_armed.load(std::memory_order_relaxed) > 0; }
+
+Status Check(const char* site) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(site);
+  if (it == Registry().end() || !it->second.armed) return Status::OK();
+  Config& cfg = it->second;
+  ++cfg.traversals;
+  if (cfg.traversals <= static_cast<uint64_t>(cfg.skip)) return Status::OK();
+  if (cfg.max_hits >= 0 && cfg.hits >= static_cast<uint64_t>(cfg.max_hits)) {
+    return Status::OK();
+  }
+  ++cfg.hits;
+  return Status(cfg.code, cfg.message);
+}
+
+Status ActivateFromSpec(const std::string& spec) {
+  std::vector<std::string> entries;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    entries.push_back(spec.substr(start, comma - start));
+    start = comma + 1;
+  }
+  for (const std::string& entry : entries) {
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("failpoint spec entry '" + entry +
+                                     "' is not site=code[@skip]");
+    }
+    std::string site = entry.substr(0, eq);
+    std::string code_str = entry.substr(eq + 1);
+    int skip = 0;
+    size_t at = code_str.find('@');
+    if (at != std::string::npos) {
+      skip = std::atoi(code_str.c_str() + at + 1);
+      code_str = code_str.substr(0, at);
+    }
+    StatusCode code;
+    if (code_str == "io_error") {
+      code = StatusCode::kIoError;
+    } else if (code_str == "oom") {
+      code = StatusCode::kOutOfMemory;
+    } else if (code_str == "internal") {
+      code = StatusCode::kInternal;
+    } else if (code_str == "cancelled") {
+      code = StatusCode::kCancelled;
+    } else if (code_str == "unsupported") {
+      code = StatusCode::kUnsupported;
+    } else {
+      return Status::InvalidArgument("unknown failpoint code '" + code_str +
+                                     "' (want io_error|oom|internal|"
+                                     "cancelled|unsupported)");
+    }
+    Activate(site, code, "", skip);
+  }
+  return Status::OK();
+}
+
+}  // namespace qy::failpoint

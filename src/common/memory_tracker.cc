@@ -2,9 +2,12 @@
 
 #include <cassert>
 
+#include "common/failpoint.h"
+
 namespace qy {
 
 Status MemoryTracker::Reserve(uint64_t bytes) {
+  QY_FAILPOINT("mem/reserve");
   uint64_t budget = budget_.load(std::memory_order_relaxed);
   uint64_t prior = used_.load(std::memory_order_relaxed);
   while (true) {

@@ -24,6 +24,8 @@ enum class StatusCode {
   kOutOfMemory,       ///< memory budget exceeded
   kUnsupported,       ///< feature not implemented for these inputs
   kIoError,           ///< temp-file / filesystem failure
+  kCancelled,         ///< query cancelled by the caller (Cancel()/SIGINT)
+  kDeadlineExceeded,  ///< query deadline / --timeout-ms expired
   kInternal,          ///< invariant violation (bug)
 };
 
@@ -61,6 +63,12 @@ class Status {
   }
   static Status IoError(std::string m) {
     return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/failpoint.h"
+
 namespace qy {
 
 namespace fs = std::filesystem;
@@ -18,6 +20,7 @@ TempFile::~TempFile() {
 }
 
 Status TempFile::WriteBytes(const void* data, size_t n) {
+  QY_FAILPOINT("tempfile/write");
   if (std::fwrite(data, 1, n, file_) != n) {
     return Status::IoError("short write to " + path_ + ": " +
                            std::strerror(errno));
@@ -65,8 +68,19 @@ TempFileManager::~TempFileManager() {
   fs::remove_all(dir_, ec);
 }
 
+uint64_t TempFileManager::LiveFileCount() const {
+  uint64_t count = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    (void)entry;
+    ++count;
+  }
+  return count;
+}
+
 Result<std::unique_ptr<TempFile>> TempFileManager::Create(
     const std::string& hint) {
+  QY_FAILPOINT("tempfile/create");
   std::string path = dir_ + "/" + hint + "_" + std::to_string(counter_++);
   std::FILE* f = std::fopen(path.c_str(), "w+b");
   if (f == nullptr) {

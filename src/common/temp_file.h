@@ -57,6 +57,12 @@ class TempFileManager {
   /// Create a fresh temp file opened for write+read.
   Result<std::unique_ptr<TempFile>> Create(const std::string& hint);
 
+  /// Files currently present in the manager's directory. Every TempFile
+  /// unlinks itself on destruction, so after a query — failed or not — this
+  /// must be back to its pre-query value (the leak invariant checked by the
+  /// fault-injection tests).
+  uint64_t LiveFileCount() const;
+
   const std::string& dir() const { return dir_; }
   uint64_t total_spilled_bytes() const { return total_spilled_; }
   void AddSpilledBytes(uint64_t n) { total_spilled_ += n; }

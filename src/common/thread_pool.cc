@@ -2,6 +2,8 @@
 
 #include <exception>
 
+#include "common/failpoint.h"
+
 namespace qy {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -34,6 +36,11 @@ size_t ThreadPool::DefaultThreadCount() {
   return n < 1 ? 1 : n;
 }
 
+bool ThreadPool::Quiescent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty() && active_ == 0;
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -43,8 +50,13 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
     task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
   }
 }
 
@@ -60,15 +72,33 @@ void TaskGroup::Spawn(std::function<Status()> fn) {
   }
   pool_->Submit([this, fn = std::move(fn)] {
     Status s = Status::OK();
-    try {
-      s = fn();
-    } catch (const std::exception& e) {
-      s = Status::Internal(std::string("task threw: ") + e.what());
-    } catch (...) {
-      s = Status::Internal("task threw a non-standard exception");
+    if (aborted()) {
+      // Short-circuit: a sibling already failed or the query fired. Report
+      // the query status so a pure cancellation (no task error) still
+      // surfaces from Wait(); a sibling failure already holds status_.
+      if (query_ != nullptr) s = query_->Check();
+      skipped_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+#ifdef QY_FAILPOINTS_ENABLED
+      s = failpoint::Check("pool/task");
+      if (s.ok()) {
+#endif
+        try {
+          s = fn();
+        } catch (const std::exception& e) {
+          s = Status::Internal(std::string("task threw: ") + e.what());
+        } catch (...) {
+          s = Status::Internal("task threw a non-standard exception");
+        }
+#ifdef QY_FAILPOINTS_ENABLED
+      }
+#endif
     }
     std::lock_guard<std::mutex> lock(mu_);
-    if (!s.ok() && status_.ok()) status_ = std::move(s);
+    if (!s.ok()) {
+      if (status_.ok()) status_ = std::move(s);
+      failed_.store(true, std::memory_order_release);
+    }
     --pending_;
     cv_.notify_all();
   });
@@ -82,7 +112,8 @@ void TaskGroup::WaitUntilBelow(size_t limit) {
 Status TaskGroup::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return pending_ == 0; });
-  return status_;
+  if (!status_.ok()) return status_;
+  return query_ != nullptr ? query_->Check() : Status::OK();
 }
 
 }  // namespace qy

@@ -9,6 +9,7 @@
 /// scheme is deadlock-free by construction.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -17,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 
 namespace qy {
@@ -38,15 +40,20 @@ class ThreadPool {
   /// Enqueue one task. Must not be called after destruction has begun.
   void Submit(std::function<void()> task);
 
+  /// True when no task is queued or executing — the drained-pool invariant
+  /// checked by the failure-path tests after a query returns.
+  bool Quiescent() const;
+
   /// std::thread::hardware_concurrency with a floor of 1.
   static size_t DefaultThreadCount();
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;  ///< tasks currently executing
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };
@@ -54,12 +61,20 @@ class ThreadPool {
 /// Scatters Status-returning tasks onto a pool and joins them.
 ///
 /// The first non-OK Status wins; thrown exceptions are converted to
-/// StatusCode::kInternal. Every spawned task always runs to completion even
-/// after an error has been recorded — callers may rely on task side effects
-/// (e.g. sequence bumps) for their own ordering protocols.
+/// StatusCode::kInternal. The group is cancellation-aware: once a task has
+/// failed, or the optional QueryContext fires (cancel or deadline), spawned
+/// tasks that have not yet started are short-circuited — their body is never
+/// invoked. Because the pool pops FIFO and the abort state is sticky, the
+/// short-circuit decision is monotone in pop order: a task that does run can
+/// never be ordered after a skipped sibling it submitted before. Tasks that
+/// implement ordering protocols across invocations (e.g. the parallel
+/// aggregate's per-partial sequence numbers) must therefore also poll
+/// aborted() inside any wait loop instead of relying on skipped siblings'
+/// side effects.
 class TaskGroup {
  public:
-  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  explicit TaskGroup(ThreadPool* pool, const QueryContext* query = nullptr)
+      : pool_(pool), query_(query) {}
 
   /// Joins any still-pending tasks (errors are dropped; call Wait() to
   /// observe them).
@@ -74,15 +89,30 @@ class TaskGroup {
   /// Backpressure: block until fewer than `limit` spawned tasks are pending.
   void WaitUntilBelow(size_t limit);
 
-  /// Join all spawned tasks and return the first error (OK if none).
+  /// Join all spawned tasks and return the first error (OK if none). When
+  /// the query fired and no task recorded an error, returns the query's
+  /// cancel/deadline status.
   Status Wait();
+
+  /// True once a task failed or the query was cancelled / timed out.
+  /// Sibling tasks poll this to abandon work early.
+  bool aborted() const {
+    return failed_.load(std::memory_order_acquire) ||
+           (query_ != nullptr && !query_->Check().ok());
+  }
+
+  /// Tasks whose body was skipped by the short-circuit (for tests).
+  uint64_t skipped() const { return skipped_.load(std::memory_order_relaxed); }
 
  private:
   ThreadPool* pool_;
+  const QueryContext* query_;
   std::mutex mu_;
   std::condition_variable cv_;
   size_t pending_ = 0;
   Status status_ = Status::OK();
+  std::atomic<bool> failed_{false};
+  std::atomic<uint64_t> skipped_{0};
 };
 
 }  // namespace qy

@@ -64,6 +64,9 @@ Result<RunSummary> QymeraSimulator::ExecuteInternal(
     // One CREATE TABLE AS per gate, dropping the predecessor.
     std::string current = "T0";
     for (size_t k = 0; k < translation.steps.size(); ++k) {
+      if (options_.query != nullptr) {
+        QY_RETURN_IF_ERROR(options_.query->Check());
+      }
       const GateQuery& step = translation.steps[k];
       QY_ASSIGN_OR_RETURN(
           sql::QueryResult result,
@@ -108,6 +111,7 @@ sql::DatabaseOptions QymeraSimulator::MakeDbOptions() const {
   dopts.enable_spill = qopts_.enable_spill;
   dopts.chunk_size = qopts_.chunk_size;
   dopts.num_threads = qopts_.num_threads;
+  dopts.query = options_.query;
   return dopts;
 }
 

@@ -315,6 +315,7 @@ Result<SparseState> DdSimulator::Run(const qc::QuantumCircuit& circuit) {
 
   VEdge state = ctx.ZeroState(n);
   for (const qc::Gate& gate : circuit.gates()) {
+    if (options_.query != nullptr) QY_RETURN_IF_ERROR(options_.query->Check());
     QY_ASSIGN_OR_RETURN(qc::GateMatrix u, qc::MatrixForGate(gate));
     MEdge m = ctx.BuildGate(u, gate.qubits, n);
     state = ctx.Multiply(m, state);

@@ -216,6 +216,7 @@ Result<SparseState> MpsSimulator::Run(const qc::QuantumCircuit& circuit) {
   metrics_.backend_stat_name = "max_bond";
 
   for (const qc::Gate& gate : lowered.gates()) {
+    if (options_.query != nullptr) QY_RETURN_IF_ERROR(options_.query->Check());
     QY_ASSIGN_OR_RETURN(qc::GateMatrix u, qc::MatrixForGate(gate));
     if (gate.qubits.size() == 1) {
       QY_RETURN_IF_ERROR(state.ApplyGate1(u, gate.qubits[0]));

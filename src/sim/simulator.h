@@ -9,6 +9,7 @@
 #include <string>
 
 #include "circuit/circuit.h"
+#include "common/cancellation.h"
 #include "common/memory_tracker.h"
 #include "sim/state.h"
 
@@ -25,6 +26,10 @@ struct SimOptions {
   int mps_max_bond = 4096;
   /// MPS: singular values below this (relative) are truncated.
   double mps_truncation_eps = 1e-12;
+  /// Optional cancellation/deadline context: every backend polls it at
+  /// least once per gate and stops with kCancelled / kDeadlineExceeded.
+  /// Not owned; must outlive the simulator run.
+  const QueryContext* query = nullptr;
 };
 
 /// Per-run metrics every backend reports.

@@ -26,6 +26,7 @@ Result<SparseState> SparseSimulator::Run(const qc::QuantumCircuit& circuit) {
 
   double cut = options_.prune_epsilon * options_.prune_epsilon;
   for (const qc::Gate& gate : circuit.gates()) {
+    if (options_.query != nullptr) QY_RETURN_IF_ERROR(options_.query->Check());
     QY_ASSIGN_OR_RETURN(qc::GateMatrix u, qc::MatrixForGate(gate));
     int dim = u.dim;
     BasisIndex mask = qy::QubitMask(gate.qubits);

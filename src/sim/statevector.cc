@@ -36,6 +36,7 @@ Result<SparseState> StatevectorSimulator::Run(
 
   std::vector<Complex> gathered, transformed;
   for (const qc::Gate& gate : circuit.gates()) {
+    if (options_.query != nullptr) QY_RETURN_IF_ERROR(options_.query->Check());
     QY_ASSIGN_OR_RETURN(qc::GateMatrix u, qc::MatrixForGate(gate));
     int k = static_cast<int>(gate.qubits.size());
     int dim = 1 << k;

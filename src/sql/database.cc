@@ -29,6 +29,7 @@ ExecContext Database::MakeContext() {
   ctx.num_threads = num_threads_;
   ctx.pool = pool_.get();
   ctx.profile = &profile_;
+  ctx.query = options_.query;
   return ctx;
 }
 

@@ -35,6 +35,10 @@ struct DatabaseOptions {
   /// Worker threads for morsel-driven parallel execution. 1 = serial
   /// (byte-identical legacy behavior); 0 = hardware concurrency.
   size_t num_threads = 1;
+  /// Optional cancellation/deadline context. When set, every query executed
+  /// by this Database polls it once per chunk/morsel and stops with
+  /// kCancelled / kDeadlineExceeded. Not owned; must outlive the Database.
+  const QueryContext* query = nullptr;
 };
 
 class Database {
@@ -57,6 +61,9 @@ class Database {
   Catalog& catalog() { return catalog_; }
   MemoryTracker& tracker() { return tracker_; }
   TempFileManager& temp_files() { return temp_files_; }
+  /// Worker pool, or nullptr when running serial. Exposed so tests can
+  /// assert the pool is quiescent after a failed or cancelled query.
+  ThreadPool* pool() { return pool_.get(); }
   const DatabaseOptions& options() const { return options_; }
 
   /// Effective worker-thread count (options().num_threads with 0 resolved

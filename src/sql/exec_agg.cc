@@ -418,6 +418,7 @@ class HashAggNode : public ExecNode {
   }
 
   Status NextInternal(DataChunk* out, bool* done) {
+    QY_RETURN_IF_ERROR(ctx_->CheckInterrupt());
     out->columns.clear();
     if (!emit_from_partitions_) {
       uint32_t total = static_cast<uint32_t>(table_.NumGroups());
@@ -467,6 +468,7 @@ class HashAggNode : public ExecNode {
   /// byte-identical behavior, including floating-point accumulation order).
   Status ConsumeSerial() {
     while (true) {
+      QY_RETURN_IF_ERROR(ctx_->CheckInterrupt());
       DataChunk in;
       bool child_done = false;
       QY_RETURN_IF_ERROR(child_->Next(&in, &child_done));
@@ -525,10 +527,12 @@ class HashAggNode : public ExecNode {
     }
     std::mutex spill_mu;  // guards partitions_, spilled_ and ctx_ counters
     uint64_t seqs[kParallelPartials] = {};
-    TaskGroup group(ctx_->pool);
+    TaskGroup group(ctx_->pool, ctx_->query);
     Status pull_status = Status::OK();
     size_t chunk_idx = 0;
     while (true) {
+      pull_status = ctx_->CheckInterrupt();
+      if (!pull_status.ok()) break;
       auto in = std::make_shared<DataChunk>();
       bool child_done = false;
       pull_status = child_->Next(in.get(), &child_done);
@@ -538,7 +542,7 @@ class HashAggNode : public ExecNode {
       Partial* part = partials[p].get();
       uint64_t seq = seqs[p]++;
       group.WaitUntilBelow(ctx_->num_threads * 4);
-      group.Spawn([this, in, part, seq, &spill_mu]() -> Status {
+      group.Spawn([this, in, part, seq, &spill_mu, &group]() -> Status {
         // Fallible work before the ordered section; failures are carried
         // into it so next_seq is always bumped (otherwise later chunks of
         // this partial would wait forever).
@@ -554,7 +558,20 @@ class HashAggNode : public ExecNode {
           }
         }
         std::unique_lock<std::mutex> lock(part->mu);
-        part->cv.wait(lock, [part, seq] { return part->next_seq == seq; });
+        // Abort-safe ordered wait: once the group is aborted (a sibling
+        // failed, or the query was cancelled), queued predecessors are
+        // short-circuited by the Spawn wrapper and never bump next_seq —
+        // a bare cv.wait would then block forever. Poll aborted() and bail
+        // (without bumping: ordering is moot, the query is failing; the
+        // other waiters exit through this same branch).
+        while (part->next_seq != seq) {
+          if (group.aborted()) {
+            Status s = ctx_->CheckInterrupt();
+            return s.ok() ? Status::Internal("aggregation aborted by sibling")
+                          : s;
+          }
+          part->cv.wait_for(lock, std::chrono::milliseconds(1));
+        }
         Status s = eval.ok() ? ApplyChunkLocked(part, *in, keys, args, spill_mu)
                              : eval;
         ++part->next_seq;
@@ -576,6 +593,7 @@ class HashAggNode : public ExecNode {
     }
     std::string buf;
     for (auto& part : partials) {
+      QY_RETURN_IF_ERROR(ctx_->CheckInterrupt());
       uint32_t total = static_cast<uint32_t>(part->table.NumGroups());
       for (uint32_t g = 0; g < total; ++g) {
         buf.clear();
@@ -643,16 +661,21 @@ class HashAggNode : public ExecNode {
 
   Status EnsurePartitions(int depth) {
     if (!partitions_.empty()) return Status::OK();
-    partitions_.resize(kNumPartitions);
+    // Build into a local set and commit only when every file was created:
+    // a mid-loop Create failure must not leave partitions_ half-initialized
+    // (non-empty but with null writers), because a concurrent parallel
+    // partial that lost the abort race would then skip creation and write
+    // through the null writer.
+    std::vector<Partition> fresh(kNumPartitions);
     for (int p = 0; p < kNumPartitions; ++p) {
       QY_ASSIGN_OR_RETURN(
-          partitions_[p].file,
+          fresh[p].file,
           ctx_->temp_files->Create("agg_d" + std::to_string(depth) + "_p" +
                                    std::to_string(p)));
-      partitions_[p].writer =
-          std::make_unique<RecordWriter>(partitions_[p].file.get());
-      ++ctx_->spill_partitions;
+      fresh[p].writer = std::make_unique<RecordWriter>(fresh[p].file.get());
     }
+    partitions_ = std::move(fresh);
+    ctx_->spill_partitions += kNumPartitions;
     return Status::OK();
   }
 
@@ -687,7 +710,11 @@ class HashAggNode : public ExecNode {
     std::vector<Partition> sub;  // lazily created on overflow
     bool overflow = false;
     std::string record;
+    uint64_t merged = 0;
     while (true) {
+      if ((merged++ & 255) == 0) {
+        QY_RETURN_IF_ERROR(ctx_->CheckInterrupt());
+      }
       bool eof = false;
       QY_RETURN_IF_ERROR(reader.Read(&record, &eof));
       if (eof) break;

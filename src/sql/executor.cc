@@ -98,6 +98,7 @@ class ScanNode : public ExecNode {
 
   Status Next(DataChunk* out, bool* done) override {
     ScopedTimer timer(&stats_.seconds);
+    QY_RETURN_IF_ERROR(ctx_->CheckInterrupt());
     const Table& table = *plan_.table;
     out->columns.clear();
     if (offset_ >= table.NumRows()) {
@@ -145,7 +146,8 @@ class FilterNode : public ExecNode {
  public:
   FilterNode(const PlanNode& plan, std::unique_ptr<ExecNode> child,
              ExecContext* ctx)
-      : plan_(plan), child_(std::move(child)), stats_("Filter", ctx) {}
+      : plan_(plan), child_(std::move(child)), ctx_(ctx),
+        stats_("Filter", ctx) {}
 
   Status Init() override { return child_->Init(); }
 
@@ -153,6 +155,7 @@ class FilterNode : public ExecNode {
     ScopedTimer timer(&stats_.seconds);
     out->columns.clear();
     while (true) {
+      QY_RETURN_IF_ERROR(ctx_->CheckInterrupt());
       DataChunk in;
       bool child_done = false;
       QY_RETURN_IF_ERROR(child_->Next(&in, &child_done));
@@ -178,6 +181,7 @@ class FilterNode : public ExecNode {
  private:
   const PlanNode& plan_;
   std::unique_ptr<ExecNode> child_;
+  ExecContext* ctx_;
   NodeStats stats_;
 };
 
@@ -301,6 +305,7 @@ class SortNode : public ExecNode {
     // Materialize input.
     DataChunk all;
     while (true) {
+      QY_RETURN_IF_ERROR(ctx_->CheckInterrupt());
       DataChunk in;
       bool child_done = false;
       QY_RETURN_IF_ERROR(child_->Next(&in, &child_done));
@@ -409,6 +414,7 @@ class HashJoinNode : public ExecNode {
     QY_RETURN_IF_ERROR(right_->Init());
     // Build phase: materialize right side.
     while (true) {
+      QY_RETURN_IF_ERROR(ctx_->CheckInterrupt());
       DataChunk in;
       bool child_done = false;
       QY_RETURN_IF_ERROR(right_->Next(&in, &child_done));
@@ -496,6 +502,7 @@ class HashJoinNode : public ExecNode {
     out->columns.clear();
     if (parallel_) return NextParallel(out, done);
     while (true) {
+      QY_RETURN_IF_ERROR(ctx_->CheckInterrupt());
       DataChunk probe;
       bool child_done = false;
       QY_RETURN_IF_ERROR(left_->Next(&probe, &child_done));
@@ -546,6 +553,7 @@ class HashJoinNode : public ExecNode {
   /// batch size (no full materialization of the join output).
   Status NextParallel(DataChunk* out, bool* done) {
     while (true) {
+      QY_RETURN_IF_ERROR(ctx_->CheckInterrupt());
       if (ready_pos_ < ready_.size()) {
         DataChunk chunk = std::move(ready_[ready_pos_++]);
         if (chunk.NumRows() == 0) continue;
@@ -583,6 +591,7 @@ class HashJoinNode : public ExecNode {
       }
     } else {
       while (pulled.size() < batch) {
+        QY_RETURN_IF_ERROR(ctx_->CheckInterrupt());
         auto in = std::make_shared<DataChunk>();
         bool child_done = false;
         QY_RETURN_IF_ERROR(left_->Next(in.get(), &child_done));
@@ -597,9 +606,10 @@ class HashJoinNode : public ExecNode {
       return Status::OK();
     }
     ready_.assign(n, DataChunk());
-    TaskGroup group(ctx_->pool);
+    TaskGroup group(ctx_->pool, ctx_->query);
     for (size_t i = 0; i < n; ++i) {
       group.Spawn([this, i, &morsels, &pulled]() -> Status {
+        QY_RETURN_IF_ERROR(ctx_->CheckInterrupt());
         DataChunk probe;
         if (scan_source_ != nullptr) {
           MaterializeRange(*scan_source_, morsels[i].offset, morsels[i].count,
@@ -738,6 +748,7 @@ Status ExecutePlan(const PlanNode& plan, ExecContext* ctx, Table* sink) {
   QY_ASSIGN_OR_RETURN(auto root, CreateExecNode(plan, ctx));
   QY_RETURN_IF_ERROR(root->Init());
   while (true) {
+    QY_RETURN_IF_ERROR(ctx->CheckInterrupt());
     DataChunk chunk;
     bool done = false;
     QY_RETURN_IF_ERROR(root->Next(&chunk, &done));

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/memory_tracker.h"
 #include "common/temp_file.h"
 #include "common/thread_pool.h"
@@ -57,9 +58,17 @@ struct ExecContext {
   ThreadPool* pool = nullptr;
   /// Optional per-operator stats sink.
   QueryProfile* profile = nullptr;
+  /// Optional cancellation/deadline context; polled once per morsel/chunk
+  /// by every operator loop.
+  const QueryContext* query = nullptr;
   /// Execution statistics (cumulative across operators).
   uint64_t rows_spilled = 0;
   uint64_t spill_partitions = 0;
+
+  /// kCancelled / kDeadlineExceeded when the query should stop, OK else.
+  Status CheckInterrupt() const {
+    return query != nullptr ? query->Check() : Status::OK();
+  }
 };
 
 /// A physical operator instance.

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/failpoint.h"
+
 namespace qy::sql {
 
 namespace {
@@ -136,12 +138,14 @@ Status RecordWriter::Write(const std::string& record) {
 
 Status RecordWriter::Flush() {
   if (buffer_.empty()) return Status::OK();
+  QY_FAILPOINT("spill/write");
   QY_RETURN_IF_ERROR(file_->WriteBytes(buffer_.data(), buffer_.size()));
   buffer_.clear();
   return Status::OK();
 }
 
 Status RecordReader::Read(std::string* record, bool* eof) {
+  QY_FAILPOINT("spill/read");
   uint32_t len = 0;
   QY_RETURN_IF_ERROR(file_->ReadBytes(&len, sizeof(len), eof));
   if (*eof) return Status::OK();

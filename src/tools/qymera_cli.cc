@@ -11,6 +11,7 @@
 ///   qymera families
 ///
 /// Backends: qymera-sql statevector sparse mps dd sql-string sql-tensor
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,12 +21,26 @@
 #include "bench/runner.h"
 #include "bench/workloads.h"
 #include "circuit/json_io.h"
+#include "common/cancellation.h"
+#include "common/failpoint.h"
 #include "common/strings.h"
 #include "core/qymera_sim.h"
 
 namespace {
 
 using namespace qy;
+
+/// Fired by the SIGINT handler; polled cooperatively by the running query.
+/// Signal handlers may only touch lock-free atomics, which is exactly what
+/// CancellationToken::Cancel is.
+CancellationToken g_interrupt;
+
+extern "C" void HandleSigint(int /*sig*/) {
+  g_interrupt.Cancel();
+  // Restore the default handler so a second Ctrl-C force-kills the process
+  // even if the query never reaches its next cancellation check.
+  std::signal(SIGINT, SIG_DFL);
+}
 
 int Usage() {
   std::fprintf(stderr,
@@ -39,7 +54,11 @@ int Usage() {
                "(0 = hardware concurrency, 1 = serial; qymera-sql)\n"
                "  --stats          print per-operator execution profile "
                "(qymera-sql)\n"
-               "  --steps          print intermediate states (qymera-sql)\n");
+               "  --steps          print intermediate states (qymera-sql)\n"
+               "  --timeout-ms=N   (run) abort the simulation after N ms "
+               "(DeadlineExceeded); Ctrl-C cancels cooperatively\n"
+               "  --failpoints=S   arm fault-injection sites, e.g. "
+               "spill/write=io_error,mem/reserve=oom@3 (testing)\n");
   return 2;
 }
 
@@ -74,6 +93,8 @@ struct CliOptions {
   size_t threads = 0;  ///< 0 = hardware concurrency
   bool stats = false;
   bool steps = false;
+  int64_t timeout_ms = 0;   ///< 0 = no deadline
+  std::string failpoints;   ///< fault-injection spec (testing)
 };
 
 CliOptions ParseFlags(int argc, char** argv, int first) {
@@ -88,6 +109,10 @@ CliOptions ParseFlags(int argc, char** argv, int first) {
       out.threads = std::strtoull(arg.c_str() + 10, nullptr, 10);
     else if (arg == "--stats") out.stats = true;
     else if (arg == "--steps") out.steps = true;
+    else if (arg.rfind("--timeout-ms=", 0) == 0)
+      out.timeout_ms = std::strtoll(arg.c_str() + 13, nullptr, 10);
+    else if (arg.rfind("--failpoints=", 0) == 0)
+      out.failpoints = arg.substr(13);
   }
   return out;
 }
@@ -135,8 +160,28 @@ int CmdRun(const qc::QuantumCircuit& circuit, const CliOptions& cli) {
     std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
     return 1;
   }
+  if (!cli.failpoints.empty()) {
+#ifdef QY_FAILPOINTS_ENABLED
+    Status armed = failpoint::ActivateFromSpec(cli.failpoints);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "%s\n", armed.ToString().c_str());
+      return 2;
+    }
+#else
+    std::fprintf(stderr,
+                 "--failpoints ignored: built with -DQY_FAILPOINTS=OFF\n");
+#endif
+  }
   sim::SimOptions options;
   if (cli.budget_mib > 0) options.memory_budget_bytes = cli.budget_mib << 20;
+
+  // Cooperative interruption: Ctrl-C fires g_interrupt, --timeout-ms arms a
+  // deadline; the engine polls `query` once per chunk/morsel/gate.
+  QueryContext query(&g_interrupt);
+  if (cli.timeout_ms > 0) query.SetTimeoutMs(cli.timeout_ms);
+  options.query = &query;
+  std::signal(SIGINT, HandleSigint);
+
   core::QymeraOptions qopts;
   if (cli.fuse > 0) {
     qopts.enable_fusion = true;
@@ -155,9 +200,11 @@ int CmdRun(const qc::QuantumCircuit& circuit, const CliOptions& cli) {
         });
   }
   auto state = simulator->Run(circuit);
+  std::signal(SIGINT, SIG_DFL);
   if (!state.ok()) {
     std::fprintf(stderr, "%s\n", state.status().ToString().c_str());
-    return 1;
+    // Conventional exit code for "terminated by SIGINT".
+    return state.status().code() == StatusCode::kCancelled ? 130 : 1;
   }
   std::printf("%s\n", state->ToString(32).c_str());
   const sim::SimMetrics& m = simulator->metrics();

@@ -1,0 +1,215 @@
+/// Fault-injection matrix: every registered failpoint site, crossed with the
+/// main query shapes (join, aggregation, ORDER BY, spill-under-budget) and
+/// thread counts, asserting the failure-path contract — a clean Status comes
+/// back, tracked memory returns to its pre-query level, no spill temp files
+/// survive, the worker pool drains, and the database keeps answering.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/failpoint.h"
+#include "sql/database.h"
+#include "testutil/testutil.h"
+
+namespace qy {
+namespace {
+
+using sql::Database;
+using sql::DatabaseOptions;
+using sql::Value;
+
+#ifndef QY_FAILPOINTS_ENABLED
+
+TEST(FaultInjectionTest, RequiresFailpointBuild) {
+  GTEST_SKIP() << "built with -DQY_FAILPOINTS=OFF; failpoint sites are "
+                  "compiled out";
+}
+
+#else  // QY_FAILPOINTS_ENABLED
+
+void FillGroups(Database* db, int rows, int groups) {
+  ASSERT_TRUE(db->ExecuteScript("CREATE TABLE t (k BIGINT, v DOUBLE)").ok());
+  auto table = db->catalog().GetTable("t");
+  ASSERT_TRUE(table.ok());
+  for (int r = 0; r < rows; ++r) {
+    ASSERT_TRUE((*table)
+                    ->AppendRow({Value::BigInt(r % groups),
+                                 Value::Double(static_cast<double>(r))})
+                    .ok());
+  }
+}
+
+struct Site {
+  const char* name;
+  StatusCode code;
+};
+
+constexpr Site kSites[] = {
+    {"spill/write", StatusCode::kIoError},
+    {"spill/read", StatusCode::kIoError},
+    {"tempfile/create", StatusCode::kIoError},
+    {"tempfile/write", StatusCode::kIoError},
+    {"mem/reserve", StatusCode::kOutOfMemory},
+    {"pool/task", StatusCode::kInternal},
+};
+
+struct Scenario {
+  const char* name;
+  const char* sql;
+  uint64_t budget;  ///< MemoryTracker::kUnlimited or a spill-forcing cap
+  int rows;
+  int groups;
+};
+
+const Scenario kScenarios[] = {
+    {"join",
+     "SELECT a.k, COUNT(*) FROM t a JOIN t b ON a.k = b.k GROUP BY a.k",
+     MemoryTracker::kUnlimited, 2000, 50},
+    {"aggregation",
+     "SELECT k, SUM(v), AVG(v), MIN(v), MAX(v) FROM t GROUP BY k",
+     MemoryTracker::kUnlimited, 5000, 200},
+    {"order_by", "SELECT k, v FROM t ORDER BY v DESC, k",
+     MemoryTracker::kUnlimited, 5000, 200},
+    // Budget forces the hash aggregate to spill partitions, so the spill/
+    // tempfile sites are actually traversed (cf. sql_spill_test).
+    {"spill_agg", "SELECT k, SUM(v), COUNT(*) FROM t GROUP BY k",
+     1 << 20, 20000, 5000},
+};
+
+/// One cell of the matrix: arm `site`, run `scenario`, verify the contract.
+void RunCase(const Site& site, const Scenario& scenario, size_t threads,
+             int skip) {
+  SCOPED_TRACE(std::string(scenario.name) + " x " + site.name +
+               " x threads=" + std::to_string(threads) +
+               " skip=" + std::to_string(skip));
+  failpoint::DeactivateAll();
+  DatabaseOptions opts;
+  opts.memory_budget_bytes = scenario.budget;
+  opts.num_threads = threads;
+  Database db(opts);
+  FillGroups(&db, scenario.rows, scenario.groups);
+  uint64_t used_before = db.tracker().used();
+
+  failpoint::Activate(site.name, site.code, "injected by fault_injection_test",
+                      skip);
+  Status status;
+  {
+    auto got = db.Execute(scenario.sql);
+    status = got.status();
+    // The result (and its tracked sink table) dies here, before the
+    // cleanup invariants are checked.
+  }
+  uint64_t hits = failpoint::HitCount(site.name);
+  uint64_t traversals = failpoint::TraversalCount(site.name);
+  failpoint::DeactivateAll();
+
+  if (hits > 0) {
+    EXPECT_FALSE(status.ok())
+        << "injected " << hits << " failure(s) at " << site.name
+        << " but the query succeeded";
+  } else {
+    // The site was never traversed (e.g. spill sites without memory
+    // pressure, pool/task in a serial run): the query must succeed.
+    EXPECT_TRUE(status.ok())
+        << site.name << " untraversed (" << traversals
+        << " traversals) yet the query failed: " << status.ToString();
+  }
+
+  test::ExpectQueryCleanup(db, used_before, "after injected failure");
+
+  // The database must keep working once the fault is disarmed.
+  {
+    auto again = db.Execute("SELECT COUNT(*) FROM t");
+    ASSERT_TRUE(again.ok()) << "follow-up query failed after " << site.name
+                            << ": " << again.status().ToString();
+    EXPECT_EQ(again->GetInt64(0, 0), scenario.rows);
+  }
+  test::ExpectQueryCleanup(db, used_before, "after follow-up query");
+}
+
+TEST(FaultInjectionTest, EverySiteEveryQueryShapeSerial) {
+  for (const Scenario& scenario : kScenarios) {
+    for (const Site& site : kSites) {
+      RunCase(site, scenario, /*threads=*/1, /*skip=*/0);
+    }
+  }
+}
+
+TEST(FaultInjectionTest, EverySiteEveryQueryShapeParallel) {
+  for (const Scenario& scenario : kScenarios) {
+    for (const Site& site : kSites) {
+      RunCase(site, scenario, /*threads=*/4, /*skip=*/0);
+    }
+  }
+}
+
+TEST(FaultInjectionTest, MidQueryInjectionAfterSkippedTraversals) {
+  // skip=3 lets the first traversals pass so the failure lands mid-query —
+  // after some spill partitions are already on disk / some pool tasks ran.
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    for (const char* name :
+         {"spill/write", "tempfile/write", "mem/reserve", "pool/task"}) {
+      Site site{name, StatusCode::kIoError};
+      RunCase(site, kScenarios[3], threads, /*skip=*/3);
+    }
+  }
+}
+
+TEST(FaultInjectionTest, MaxHitsLimitsInjections) {
+  failpoint::DeactivateAll();
+  failpoint::Activate("mem/reserve", StatusCode::kOutOfMemory, "bounded",
+                      /*skip=*/0, /*max_hits=*/2);
+  MemoryTracker tracker(MemoryTracker::kUnlimited);
+  EXPECT_FALSE(tracker.Reserve(1).ok());
+  EXPECT_FALSE(tracker.Reserve(1).ok());
+  EXPECT_TRUE(tracker.Reserve(1).ok()) << "max_hits=2 not honoured";
+  EXPECT_EQ(failpoint::HitCount("mem/reserve"), 2u);
+  EXPECT_EQ(failpoint::TraversalCount("mem/reserve"), 3u);
+  failpoint::DeactivateAll();
+  EXPECT_TRUE(tracker.Reserve(1).ok());
+  tracker.Release(tracker.used());
+}
+
+TEST(FaultInjectionTest, ActivateFromSpecParsesAndArms) {
+  failpoint::DeactivateAll();
+  ASSERT_TRUE(
+      failpoint::ActivateFromSpec("spill/write=io_error,mem/reserve=oom@2")
+          .ok());
+  EXPECT_TRUE(failpoint::AnyActive());
+  MemoryTracker tracker(MemoryTracker::kUnlimited);
+  EXPECT_TRUE(tracker.Reserve(1).ok());   // skip 1
+  EXPECT_TRUE(tracker.Reserve(1).ok());   // skip 2
+  Status s = tracker.Reserve(1);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfMemory);
+  failpoint::DeactivateAll();
+  EXPECT_FALSE(failpoint::AnyActive());
+  tracker.Release(tracker.used());
+
+  EXPECT_FALSE(failpoint::ActivateFromSpec("spill/write=no_such_code").ok());
+  EXPECT_FALSE(failpoint::ActivateFromSpec("justasite").ok());
+  failpoint::DeactivateAll();
+}
+
+TEST(FaultInjectionTest, CtasFailureDropsTheTargetTable) {
+  failpoint::DeactivateAll();
+  Database db;
+  FillGroups(&db, 1000, 100);
+  uint64_t used_before = db.tracker().used();
+  failpoint::Activate("mem/reserve", StatusCode::kOutOfMemory, "injected");
+  auto got =
+      db.Execute("CREATE TABLE big AS SELECT k, SUM(v) FROM t GROUP BY k");
+  failpoint::DeactivateAll();
+  ASSERT_FALSE(got.ok());
+  // The half-built target must not linger in the catalog.
+  EXPECT_FALSE(db.catalog().HasTable("big"));
+  test::ExpectQueryCleanup(db, used_before, "after failed CTAS");
+  auto again =
+      db.Execute("CREATE TABLE big AS SELECT k, SUM(v) FROM t GROUP BY k");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(db.catalog().HasTable("big"));
+}
+
+#endif  // QY_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace qy

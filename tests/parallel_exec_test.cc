@@ -38,8 +38,12 @@ TEST(ThreadPoolTest, RunsEveryTask) {
   EXPECT_EQ(count.load(), 200);
 }
 
-TEST(ThreadPoolTest, FirstErrorWinsAndLaterTasksStillRun) {
-  ThreadPool pool(2);
+TEST(ThreadPoolTest, FirstErrorWinsAndShortCircuitsQueuedTasks) {
+  // Single worker => FIFO: the failing task completes before any counting
+  // task is popped, so every queued sibling is deterministically
+  // short-circuited (ordering protocols must poll TaskGroup::aborted()
+  // in their wait loops instead of relying on siblings running).
+  ThreadPool pool(1);
   std::atomic<int> count{0};
   TaskGroup group(&pool);
   group.Spawn([]() -> Status { return Status::Internal("boom"); });
@@ -52,8 +56,8 @@ TEST(ThreadPoolTest, FirstErrorWinsAndLaterTasksStillRun) {
   Status s = group.Wait();
   EXPECT_EQ(s.code(), StatusCode::kInternal);
   EXPECT_NE(s.message().find("boom"), std::string::npos);
-  // Tasks after the error are not skipped (ordering protocols rely on it).
-  EXPECT_EQ(count.load(), 50);
+  EXPECT_EQ(count.load(), 0);
+  EXPECT_EQ(group.skipped(), 50u);
 }
 
 TEST(ThreadPoolTest, ExceptionBecomesInternalStatus) {

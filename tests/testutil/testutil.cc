@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <utility>
 
 #include "circuit/families.h"
@@ -156,6 +158,27 @@ sim::SparseState RunBackend(const BackendFactory& factory,
     return sim::SparseState::ZeroState(circuit.num_qubits());
   }
   return *std::move(state);
+}
+
+void ExpectNoLeakedTempFiles(sql::Database& db, const std::string& context) {
+  EXPECT_EQ(db.temp_files().LiveFileCount(), 0u)
+      << context << ": spill temp files leaked";
+}
+
+void ExpectQueryCleanup(sql::Database& db, uint64_t used_before,
+                        const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(db.tracker().used(), used_before)
+      << "tracked memory not restored after the query";
+  ExpectNoLeakedTempFiles(db, context);
+  if (db.pool() != nullptr) {
+    // TaskGroup::Wait can return a hair before the worker's active-count
+    // decrement; give the pool a moment to settle.
+    for (int i = 0; i < 2000 && !db.pool()->Quiescent(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(db.pool()->Quiescent()) << "worker pool not drained";
+  }
 }
 
 }  // namespace qy::test

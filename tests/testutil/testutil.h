@@ -14,6 +14,7 @@
 #include "core/qymera_sim.h"
 #include "sim/simulator.h"
 #include "sim/state.h"
+#include "sql/database.h"
 
 namespace qy::test {
 
@@ -59,5 +60,19 @@ void ExpectStatesClose(const sim::SparseState& expected,
 sim::SparseState RunBackend(const BackendFactory& factory,
                             const qc::QuantumCircuit& circuit,
                             const sim::SimOptions& options = {});
+
+/// EXPECT that `db` leaked no spill temp files (TempFileManager directory is
+/// empty). Call after any failed / cancelled / successful query.
+void ExpectNoLeakedTempFiles(sql::Database& db, const std::string& context);
+
+/// EXPECT the failure-path cleanup invariants after a query on `db`
+/// returned (successfully or not):
+///   - tracked memory is back to `used_before` (the level snapshotted
+///     before the query; the tracker also accounts resident tables),
+///   - no spill temp files remain on disk,
+///   - the worker pool is quiescent (polls briefly: a worker may still be
+///     between finishing the last task and the bookkeeping decrement).
+void ExpectQueryCleanup(sql::Database& db, uint64_t used_before,
+                        const std::string& context);
 
 }  // namespace qy::test
