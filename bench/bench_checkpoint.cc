@@ -1,0 +1,85 @@
+/// \file bench_checkpoint.cc
+/// Cost of crash-safe checkpointing on long simulations.
+///
+/// The question the recovery work must answer with numbers: what does
+/// `--checkpoint-every=N` cost on top of an uncheckpointed run? Each
+/// checkpoint serializes the live state and publishes it with AtomicWriteFile
+/// (write-tmp / fsync / rename / fsync-dir), so the overhead is dominated by
+/// state size x fsync frequency. QFT keeps the statevector fully dense — the
+/// worst case for checkpoint payload size — at 12 and 16 qubits (32 KiB and
+/// 512 KiB of amplitudes per snapshot).
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "bench/runner.h"
+#include "circuit/families.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace qy;
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per benchmark run; removed on destruction.
+struct ScratchDir {
+  ScratchDir() {
+    path = (fs::temp_directory_path() /
+            ("qy_bench_ckpt_" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+/// One QFT-n run on the statevector backend, checkpointing every
+/// `state.range(1)` gates (0 = checkpointing disabled: the baseline).
+void RunQftWithInterval(benchmark::State& state, int n) {
+  const qc::QuantumCircuit circuit = qc::Qft(n);
+  const uint64_t every = static_cast<uint64_t>(state.range(0));
+  ScratchDir dir;
+  sim::SimOptions options;
+  if (every > 0) {
+    options.checkpoint_dir = dir.path;
+    options.checkpoint_every_n_gates = every;
+  }
+  for (auto _ : state) {
+    auto simulator = bench::MakeSimulator(bench::Backend::kStatevector,
+                                          options, nullptr);
+    auto result = simulator->Run(circuit);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->NumNonZero());
+  }
+  state.SetLabel(every == 0 ? "no checkpointing"
+                            : "every " + std::to_string(every) + " gates");
+}
+
+void BM_Qft12CheckpointInterval(benchmark::State& state) {
+  RunQftWithInterval(state, 12);
+}
+BENCHMARK(BM_Qft12CheckpointInterval)
+    ->Arg(0)   // baseline
+    ->Arg(1)   // checkpoint after every gate (max durability)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Qft16CheckpointInterval(benchmark::State& state) {
+  RunQftWithInterval(state, 16);
+}
+BENCHMARK(BM_Qft16CheckpointInterval)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

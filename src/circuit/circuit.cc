@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checksum.h"
 #include "common/strings.h"
 
 namespace qy::qc {
@@ -153,6 +154,24 @@ std::string QuantumCircuit::ToAscii() const {
     out += StrFormat("q%-3d: ", q) + rows[q] + "\n";
   }
   return out;
+}
+
+uint64_t QuantumCircuit::Fingerprint() const {
+  qy::Fingerprint fp;
+  fp.MixI64(num_qubits_);
+  for (const Gate& g : gates_) {
+    fp.MixI64(static_cast<int64_t>(g.type));
+    fp.MixU64(g.qubits.size());
+    for (int q : g.qubits) fp.MixI64(q);
+    fp.MixU64(g.params.size());
+    for (double p : g.params) fp.MixDouble(p);
+    fp.MixU64(g.matrix.size());
+    for (const Complex& c : g.matrix) {
+      fp.MixDouble(c.real());
+      fp.MixDouble(c.imag());
+    }
+  }
+  return fp.hash();
 }
 
 }  // namespace qy::qc

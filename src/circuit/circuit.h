@@ -105,6 +105,12 @@ class QuantumCircuit {
   /// ASCII rendering with one wire per qubit.
   std::string ToAscii() const;
 
+  /// Content hash of the circuit structure (width + ordered gate list with
+  /// qubits, exact parameter bits and custom matrices; the display name is
+  /// excluded). Checkpoint manifests record it so a resume can verify it is
+  /// continuing the same circuit.
+  uint64_t Fingerprint() const;
+
  private:
   QuantumCircuit& Apply(Gate gate);
 

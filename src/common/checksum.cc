@@ -1,0 +1,66 @@
+#include "common/checksum.h"
+
+#include <array>
+#include <cstring>
+
+namespace qy {
+
+namespace {
+
+/// Byte-at-a-time table for the Castagnoli polynomial (reflected 0x82F63B78).
+/// Spill pages are ~1 MiB, checkpoints a few MiB at most; table-driven
+/// software CRC at ~1 GB/s is far from the bottleneck next to the fwrite.
+std::array<uint32_t, 256> MakeCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t acc) {
+  static const std::array<uint32_t, 256> table = MakeCrc32cTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = acc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint64_t Fnv1a64(const void* data, size_t n, uint64_t acc) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t hash = acc;
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+Fingerprint& Fingerprint::Mix(const void* data, size_t n) {
+  uint64_t len = n;
+  hash_ = Fnv1a64(&len, sizeof(len), hash_);
+  hash_ = Fnv1a64(data, n, hash_);
+  return *this;
+}
+
+Fingerprint& Fingerprint::MixU64(uint64_t v) { return Mix(&v, sizeof(v)); }
+
+Fingerprint& Fingerprint::MixDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return MixU64(bits);
+}
+
+Fingerprint& Fingerprint::MixString(const std::string& s) {
+  return Mix(s.data(), s.size());
+}
+
+}  // namespace qy

@@ -1,6 +1,10 @@
 #include "common/failpoint.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <unordered_map>
@@ -12,6 +16,7 @@ namespace {
 
 struct Config {
   bool armed = false;
+  bool crash = false;  ///< SIGKILL the process instead of returning a Status
   StatusCode code = StatusCode::kInternal;
   std::string message;
   int skip = 0;
@@ -47,6 +52,17 @@ void Activate(const std::string& site, StatusCode code, std::string message,
                                 : std::move(message);
   cfg.skip = skip;
   cfg.max_hits = max_hits;
+}
+
+void ActivateTransient(const std::string& site, int fail_count, int skip) {
+  Activate(site, StatusCode::kIoError,
+           "transient injected failure at " + site, skip, fail_count);
+}
+
+void ActivateCrash(const std::string& site, int skip) {
+  Activate(site, StatusCode::kInternal, "crash at " + site, skip);
+  std::lock_guard<std::mutex> lock(Mutex());
+  Registry()[site].crash = true;
 }
 
 void Deactivate(const std::string& site) {
@@ -92,6 +108,14 @@ Status Check(const char* site) {
     return Status::OK();
   }
   ++cfg.hits;
+  if (cfg.crash) {
+    // Die the way a power cut would: no unwinding, no flushing, no atexit.
+    std::fprintf(stderr, "failpoint: crashing at %s (traversal %llu)\n", site,
+                 static_cast<unsigned long long>(cfg.traversals));
+    ::kill(::getpid(), SIGKILL);
+    // Unreachable except in the instant before the signal lands.
+    ::pause();
+  }
   return Status(cfg.code, cfg.message);
 }
 
@@ -119,6 +143,33 @@ Status ActivateFromSpec(const std::string& spec) {
       skip = std::atoi(code_str.c_str() + at + 1);
       code_str = code_str.substr(0, at);
     }
+    if (code_str == "crash") {
+      ActivateCrash(site, skip);
+      continue;
+    }
+    if (code_str.rfind("transient(", 0) == 0) {
+      if (code_str.back() != ')') {
+        return Status::InvalidArgument("failpoint action '" + code_str +
+                                       "' is not transient(N)");
+      }
+      int fail_count = std::atoi(code_str.c_str() + 10);
+      if (fail_count <= 0) {
+        return Status::InvalidArgument("transient(N) needs N >= 1, got '" +
+                                       code_str + "'");
+      }
+      ActivateTransient(site, fail_count, skip);
+      continue;
+    }
+    int max_hits = -1;
+    size_t star = code_str.find('*');
+    if (star != std::string::npos) {
+      max_hits = std::atoi(code_str.c_str() + star + 1);
+      if (max_hits <= 0) {
+        return Status::InvalidArgument("code*N needs N >= 1, got '" +
+                                       code_str + "'");
+      }
+      code_str = code_str.substr(0, star);
+    }
     StatusCode code;
     if (code_str == "io_error") {
       code = StatusCode::kIoError;
@@ -130,12 +181,15 @@ Status ActivateFromSpec(const std::string& spec) {
       code = StatusCode::kCancelled;
     } else if (code_str == "unsupported") {
       code = StatusCode::kUnsupported;
+    } else if (code_str == "data_loss") {
+      code = StatusCode::kDataLoss;
     } else {
-      return Status::InvalidArgument("unknown failpoint code '" + code_str +
-                                     "' (want io_error|oom|internal|"
-                                     "cancelled|unsupported)");
+      return Status::InvalidArgument("unknown failpoint action '" + code_str +
+                                     "' (want io_error|oom|internal|cancelled|"
+                                     "unsupported|data_loss|transient(N)|"
+                                     "crash)");
     }
-    Activate(site, code, "", skip);
+    Activate(site, code, "", skip, max_hits);
   }
   return Status::OK();
 }

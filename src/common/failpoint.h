@@ -12,12 +12,16 @@
 /// atomic load, so leaving the sites compiled in costs nothing measurable.
 ///
 /// Sites registered in this codebase:
-///   spill/write      RecordWriter flush of spill partition bytes
-///   spill/read       RecordReader record fetch during partition merge
-///   tempfile/create  TempFileManager::Create
-///   tempfile/write   TempFile::WriteBytes
+///   spill/write      RecordWriter flush of spill partition pages
+///   spill/read       RecordReader page fetch during partition merge
+///   tempfile/create  TempFileManager::Create (one traversal per attempt;
+///                    create is retried with backoff, see temp_file.h)
+///   tempfile/write   TempFile::WriteBytes (one traversal per attempt)
 ///   mem/reserve      MemoryTracker::Reserve (injects allocation failure)
 ///   pool/task        ThreadPool task bodies spawned via TaskGroup
+///   sim/gate         once per gate in every simulation backend's main loop
+///   ckpt/write       AtomicWriteFile, per chunk and once before the rename
+///                    (a `crash` here models a torn checkpoint write)
 #pragma once
 
 #include <cstdint>
@@ -32,6 +36,18 @@ namespace qy::failpoint {
 /// Re-activating an armed site reconfigures it and resets its counters.
 void Activate(const std::string& site, StatusCode code,
               std::string message = "", int skip = 0, int max_hits = -1);
+
+/// Arm `site` in transient mode: after `skip` passing traversals the next
+/// `fail_count` traversals fail with kIoError, then the site passes forever
+/// (modeling a flaky-I/O blip that a bounded retry should absorb).
+/// Equivalent to Activate(site, kIoError, msg, skip, fail_count) — kept as a
+/// named entry point mirroring the `site=transient(N)` spec action.
+void ActivateTransient(const std::string& site, int fail_count, int skip = 0);
+
+/// Arm `site` in crash mode: after `skip` passing traversals the next
+/// traversal SIGKILLs the process — no unwinding, no atexit, exactly the
+/// torn-write crash the checkpoint/restore harness needs to reproduce.
+void ActivateCrash(const std::string& site, int skip = 0);
 
 /// Disarm `site` (its counters remain readable until the next Activate).
 void Deactivate(const std::string& site);
@@ -50,7 +66,12 @@ bool AnyActive();
 
 /// Arm sites from a comma-separated spec, e.g.
 /// "spill/write=io_error,mem/reserve=oom@2" (@N skips the first N
-/// traversals). Codes: io_error, oom, internal, cancelled, unsupported.
+/// traversals). Actions:
+///   site=CODE[@skip]          fail every post-skip traversal with CODE
+///   site=CODE*N[@skip]        fail at most N traversals (max_hits)
+///   site=transient(N)[@skip]  fail N traversals with io_error, then pass
+///   site=crash[@skip]         SIGKILL the process at the traversal
+/// Codes: io_error, oom, internal, cancelled, unsupported, data_loss.
 Status ActivateFromSpec(const std::string& spec);
 
 /// The QY_FAILPOINT hook: OK when the site is not armed (or still within its

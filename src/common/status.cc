@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
     case StatusCode::kInternal:
       return "Internal";
   }

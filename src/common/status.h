@@ -26,6 +26,7 @@ enum class StatusCode {
   kIoError,           ///< temp-file / filesystem failure
   kCancelled,         ///< query cancelled by the caller (Cancel()/SIGINT)
   kDeadlineExceeded,  ///< query deadline / --timeout-ms expired
+  kDataLoss,          ///< on-disk data corrupted (bad checksum, torn write)
   kInternal,          ///< invariant violation (bug)
 };
 
@@ -69,6 +70,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

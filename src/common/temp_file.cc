@@ -1,11 +1,16 @@
 #include "common/temp_file.h"
 
+#include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
+#include <thread>
 
 #include "common/failpoint.h"
 
@@ -13,20 +18,66 @@ namespace qy {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+constexpr char kSpillDirPrefix[] = "qymera_spill_";
+
+/// Exponential backoff before retry `attempt` (1-based): 1 ms, 2 ms, ...
+void BackoffSleep(int attempt) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1 << (attempt - 1)));
+}
+
+/// The failpoint registry is compiled either way; the call itself is only
+/// worth making when sites are enabled (keeps the disabled build identical
+/// to a plain fwrite loop).
+Status InjectedFault(const char* site) {
+#ifdef QY_FAILPOINTS_ENABLED
+  return failpoint::Check(site);
+#else
+  (void)site;
+  return Status::OK();
+#endif
+}
+
+/// True when the error is a transient I/O blip worth retrying; injected
+/// non-I/O codes (OOM, cancel) and real permission-style failures propagate.
+bool Retryable(const Status& s) { return s.code() == StatusCode::kIoError; }
+
+}  // namespace
+
 TempFile::~TempFile() {
   if (file_ != nullptr) std::fclose(file_);
   std::error_code ec;
   fs::remove(path_, ec);
 }
 
-Status TempFile::WriteBytes(const void* data, size_t n) {
-  QY_FAILPOINT("tempfile/write");
-  if (std::fwrite(data, 1, n, file_) != n) {
-    return Status::IoError("short write to " + path_ + ": " +
-                           std::strerror(errno));
+Status TempFile::WriteOnce(const void* data, size_t n) {
+  QY_RETURN_IF_ERROR(InjectedFault("tempfile/write"));
+  long pos = std::ftell(file_);
+  if (std::fwrite(data, 1, n, file_) == n) {
+    bytes_written_ += n;
+    return Status::OK();
   }
-  bytes_written_ += n;
-  return Status::OK();
+  Status failure = Status::IoError("short write to " + path_ + ": " +
+                                   std::strerror(errno));
+  // Restore the position so a retry overwrites the partial bytes instead of
+  // appending after them.
+  std::clearerr(file_);
+  if (pos < 0 || std::fseek(file_, pos, SEEK_SET) != 0) {
+    return Status::IoError("unrecoverable short write to " + path_ +
+                           " (cannot rewind for retry)");
+  }
+  return failure;
+}
+
+Status TempFile::WriteBytes(const void* data, size_t n) {
+  Status last;
+  for (int attempt = 1; attempt <= kIoAttempts; ++attempt) {
+    if (attempt > 1) BackoffSleep(attempt - 1);
+    last = WriteOnce(data, n);
+    if (last.ok() || !Retryable(last)) return last;
+  }
+  return last;
 }
 
 Status TempFile::Rewind() {
@@ -44,11 +95,17 @@ Status TempFile::ReadBytes(void* data, size_t n, bool* eof) {
     *eof = true;
     return Status::OK();
   }
-  return Status::IoError("short read from " + path_);
+  return Status::DataLoss("short read from " + path_ +
+                          " (file truncated mid-record)");
 }
 
 TempFileManager::TempFileManager() {
-  std::string base = fs::temp_directory_path().string() + "/qymera_spill_";
+  // First manager in the process reclaims scratch left behind by crashed
+  // runs before carving out its own directory.
+  static std::once_flag sweep_once;
+  std::call_once(sweep_once, [] { SweepOrphanSpillDirs(); });
+
+  std::string base = fs::temp_directory_path().string() + "/" + kSpillDirPrefix;
   for (int attempt = 0; attempt < 100; ++attempt) {
     std::string candidate =
         base + std::to_string(::getpid()) + "_" + std::to_string(attempt);
@@ -78,16 +135,122 @@ uint64_t TempFileManager::LiveFileCount() const {
   return count;
 }
 
+uint64_t TempFileManager::SweepOrphanSpillDirs() {
+  uint64_t reclaimed = 0;
+  std::error_code ec;
+  fs::path tmp_root = fs::temp_directory_path(ec);
+  if (ec) return 0;
+  for (const auto& entry : fs::directory_iterator(tmp_root, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind(kSpillDirPrefix, 0) != 0) continue;
+    if (name.find(".quarantine") != std::string::npos) {
+      // A previous sweeper died between rename and remove; finish the job.
+      std::error_code rm_ec;
+      fs::remove_all(entry.path(), rm_ec);
+      if (!rm_ec) ++reclaimed;
+      continue;
+    }
+    // Name shape: qymera_spill_<pid>_<n>. Unparsable names are left alone.
+    const char* digits = name.c_str() + sizeof(kSpillDirPrefix) - 1;
+    char* end = nullptr;
+    long pid = std::strtol(digits, &end, 10);
+    if (end == digits || *end != '_' || pid <= 0) continue;
+    if (pid == static_cast<long>(::getpid())) continue;
+    // Signal 0 probes existence without sending anything; ESRCH = gone.
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) continue;
+    // Quarantine with an atomic rename (concurrent sweepers race here; the
+    // loser's rename fails and it moves on), then remove.
+    fs::path quarantined =
+        entry.path().parent_path() /
+        (name + ".quarantine" + std::to_string(::getpid()));
+    std::error_code mv_ec;
+    fs::rename(entry.path(), quarantined, mv_ec);
+    if (mv_ec) continue;
+    uint64_t files = 0;
+    std::error_code it_ec;
+    for (const auto& f : fs::recursive_directory_iterator(quarantined, it_ec)) {
+      if (f.is_regular_file(it_ec)) ++files;
+    }
+    std::error_code rm_ec;
+    fs::remove_all(quarantined, rm_ec);
+    if (rm_ec) continue;
+    ++reclaimed;
+    std::fprintf(stderr,
+                 "qymera: reclaimed orphaned spill dir %s from dead pid %ld "
+                 "(%llu files)\n",
+                 name.c_str(), pid, static_cast<unsigned long long>(files));
+  }
+  return reclaimed;
+}
+
 Result<std::unique_ptr<TempFile>> TempFileManager::Create(
     const std::string& hint) {
-  QY_FAILPOINT("tempfile/create");
   std::string path = dir_ + "/" + hint + "_" + std::to_string(counter_++);
-  std::FILE* f = std::fopen(path.c_str(), "w+b");
-  if (f == nullptr) {
-    return Status::IoError("cannot create temp file " + path + ": " +
+  Status last;
+  for (int attempt = 1; attempt <= kIoAttempts; ++attempt) {
+    if (attempt > 1) BackoffSleep(attempt - 1);
+    last = InjectedFault("tempfile/create");
+    if (last.ok()) {
+      std::FILE* f = std::fopen(path.c_str(), "w+b");
+      if (f != nullptr) {
+        return std::unique_ptr<TempFile>(new TempFile(std::move(path), f));
+      }
+      last = Status::IoError("cannot create temp file " + path + ": " +
+                             std::strerror(errno));
+    }
+    if (!Retryable(last)) return last;
+  }
+  return last;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create " + tmp + ": " +
                            std::strerror(errno));
   }
-  return std::unique_ptr<TempFile>(new TempFile(std::move(path), f));
+  constexpr size_t kChunk = 1 << 16;
+  Status status;
+  size_t off = 0;
+  while (status.ok() && off < bytes.size()) {
+    status = InjectedFault("ckpt/write");
+    if (!status.ok()) break;
+    size_t n = std::min(kChunk, bytes.size() - off);
+    ssize_t wrote = ::write(fd, bytes.data() + off, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      status = Status::IoError("write to " + tmp + " failed: " +
+                               std::strerror(errno));
+      break;
+    }
+    off += static_cast<size_t>(wrote);
+  }
+  // A `crash` armed here dies with the complete tmp written but the rename
+  // not yet performed: the previous published file must stay intact.
+  if (status.ok()) status = InjectedFault("ckpt/write");
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::IoError("fsync of " + tmp + " failed: " +
+                             std::strerror(errno));
+  }
+  ::close(fd);
+  if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::IoError("rename " + tmp + " -> " + path + " failed: " +
+                             std::strerror(errno));
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Make the rename itself durable.
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+  return Status::OK();
 }
 
 }  // namespace qy

@@ -1,7 +1,19 @@
 /// \file temp_file.h
 /// Temp-file management for out-of-core execution (hash aggregate / hash join
-/// spill partitions). Files live under a per-manager directory and are removed
-/// when the manager is destroyed.
+/// spill partitions) and durable checkpoint I/O. Files live under a
+/// per-manager directory and are removed when the manager is destroyed.
+///
+/// Durability policy:
+///  - Temp-file create and write retry transient I/O failures up to
+///    kIoAttempts times with exponential backoff (1 ms, 2 ms), so a flaky-I/O
+///    blip does not kill a multi-minute query. Non-I/O failures (injected
+///    OOM, cancellation) propagate immediately.
+///  - AtomicWriteFile publishes a file via write-tmp / fsync / rename /
+///    fsync-dir, so readers see either the old complete file or the new
+///    complete file — never a torn one.
+///  - Orphaned spill directories from crashed processes are detected by pid
+///    liveness, quarantined (atomic rename) and removed on the first
+///    TempFileManager construction in a process (see SweepOrphanSpillDirs).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +26,10 @@
 
 namespace qy {
 
+/// Total write/create attempts before an I/O error is reported (1 try + 2
+/// retries with backoff).
+inline constexpr int kIoAttempts = 3;
+
 /// A binary read/write temp file with little-endian raw encoding helpers.
 class TempFile {
  public:
@@ -25,6 +41,9 @@ class TempFile {
   const std::string& path() const { return path_; }
   uint64_t bytes_written() const { return bytes_written_; }
 
+  /// Write exactly n bytes; transient I/O failures are retried with backoff
+  /// (the file position is restored before each retry, so a partial write is
+  /// overwritten, not duplicated).
   Status WriteBytes(const void* data, size_t n);
   Status WriteU64(uint64_t v) { return WriteBytes(&v, sizeof(v)); }
 
@@ -32,13 +51,16 @@ class TempFile {
   Status Rewind();
 
   /// Read exactly n bytes; *eof set when the file is exhausted before any
-  /// byte is read. A short read mid-record is an IoError.
+  /// byte is read. A short read mid-record means the file was truncated
+  /// under us — reported as kDataLoss.
   Status ReadBytes(void* data, size_t n, bool* eof);
 
  private:
   friend class TempFileManager;
   TempFile(std::string path, std::FILE* file)
       : path_(std::move(path)), file_(file) {}
+
+  Status WriteOnce(const void* data, size_t n);
 
   std::string path_;
   std::FILE* file_ = nullptr;
@@ -54,7 +76,8 @@ class TempFileManager {
   TempFileManager(const TempFileManager&) = delete;
   TempFileManager& operator=(const TempFileManager&) = delete;
 
-  /// Create a fresh temp file opened for write+read.
+  /// Create a fresh temp file opened for write+read. Transient create
+  /// failures are retried with backoff.
   Result<std::unique_ptr<TempFile>> Create(const std::string& hint);
 
   /// Files currently present in the manager's directory. Every TempFile
@@ -67,10 +90,24 @@ class TempFileManager {
   uint64_t total_spilled_bytes() const { return total_spilled_; }
   void AddSpilledBytes(uint64_t n) { total_spilled_ += n; }
 
+  /// Startup recovery: scan the system temp directory for qymera spill dirs
+  /// whose owning process is gone (a crashed or SIGKILLed run), quarantine
+  /// each via atomic rename, delete it, and log what was reclaimed. Runs
+  /// once per process from the first TempFileManager constructor; exposed
+  /// for tests and tools. Returns the number of directories reclaimed.
+  static uint64_t SweepOrphanSpillDirs();
+
  private:
   std::string dir_;
   uint64_t counter_ = 0;
   uint64_t total_spilled_ = 0;
 };
+
+/// Durably publish `bytes` at `path`: write to `path.tmp`, fsync, rename
+/// over `path`, fsync the directory. On any failure the tmp file is removed
+/// and `path` is untouched. Traverses the "ckpt/write" failpoint per chunk
+/// and once between the final write and the rename (where a `crash` action
+/// models a torn checkpoint).
+Status AtomicWriteFile(const std::string& path, const std::string& bytes);
 
 }  // namespace qy

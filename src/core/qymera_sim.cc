@@ -2,7 +2,47 @@
 
 #include <chrono>
 
+#include "common/checksum.h"
+#include "common/failpoint.h"
+#include "sim/checkpoint.h"
+
 namespace qy::core {
+
+namespace {
+
+/// Checkpoint payload for the SQL backend: the sparse state read back from
+/// the current intermediate table (exact, eps = 0).
+std::string EncodeSparseState(const sim::SparseState& state) {
+  sim::BlobWriter w;
+  w.U64(state.amplitudes().size());
+  for (const auto& [idx, amp] : state.amplitudes()) {
+    w.Index(idx);
+    w.C128(amp);
+  }
+  return w.TakeBytes();
+}
+
+Result<sim::SparseState> DecodeSparseState(const std::string& payload, int n) {
+  sim::BlobReader r(payload);
+  uint64_t nnz;
+  QY_RETURN_IF_ERROR(r.U64(&nnz));
+  std::vector<std::pair<BasisIndex, sim::Complex>> amps;
+  amps.reserve(nnz);
+  BasisIndex limit = BasisIndex{1} << n;
+  for (uint64_t i = 0; i < nnz; ++i) {
+    BasisIndex idx;
+    sim::Complex amp;
+    QY_RETURN_IF_ERROR(r.Index(&idx));
+    QY_RETURN_IF_ERROR(r.C128(&amp));
+    if (idx >= limit) {
+      return Status::DataLoss("checkpoint amplitude index out of range");
+    }
+    amps.emplace_back(idx, amp);
+  }
+  return sim::SparseState(n, std::move(amps));
+}
+
+}  // namespace
 
 Result<Translation> QymeraSimulator::Translate(
     const qc::QuantumCircuit& circuit) const {
@@ -37,12 +77,35 @@ Result<RunSummary> QymeraSimulator::ExecuteInternal(
   QY_ASSIGN_OR_RETURN(Translation translation,
                       TranslateCircuit(prepared, topts));
 
-  // Load gate tables and the initial state |0...0>.
+  // Gate indices in the checkpoint refer to the fused (prepared) circuit's
+  // translation steps; use_hugeint folds into the options digest because it
+  // changes the state-table encoding.
+  qy::Fingerprint ofp;
+  ofp.MixU64(sim::SimOptionsFingerprint(options_));
+  ofp.MixI64(use_hugeint ? 1 : 0);
+  sim::CheckpointSession ckpt(options_, "qymera-sql", prepared.Fingerprint(),
+                              ofp.hash(), n, translation.steps.size());
+  if (ckpt.enabled() && qopts_.mode == QymeraOptions::Mode::kSingleQuery) {
+    return Status::Unsupported(
+        "checkpointing requires materialized-steps mode (one query per gate); "
+        "single-query mode has no per-gate state to persist");
+  }
+  std::string resume_payload;
+  QY_ASSIGN_OR_RETURN(uint64_t start_step, ckpt.Begin(&resume_payload));
+
+  // Load gate tables, then either the initial state |0...0> or the
+  // checkpointed state as the resumed step's output table.
   for (const EncodedGate& gate : translation.gate_tables) {
     QY_RETURN_IF_ERROR(MaterializeGateTable(db, gate));
   }
-  QY_RETURN_IF_ERROR(MaterializeStateTable(
-      db, "T0", sim::SparseState::ZeroState(n), use_hugeint));
+  std::string initial_table = "T0";
+  sim::SparseState initial_state = sim::SparseState::ZeroState(n);
+  if (start_step > 0) {
+    initial_table = translation.steps[start_step - 1].output_table;
+    QY_ASSIGN_OR_RETURN(initial_state, DecodeSparseState(resume_payload, n));
+  }
+  QY_RETURN_IF_ERROR(
+      MaterializeStateTable(db, initial_table, initial_state, use_hugeint));
 
   RunSummary summary;
   summary.max_intermediate_rows = 1;
@@ -62,8 +125,9 @@ Result<RunSummary> QymeraSimulator::ExecuteInternal(
     }
   } else {
     // One CREATE TABLE AS per gate, dropping the predecessor.
-    std::string current = "T0";
-    for (size_t k = 0; k < translation.steps.size(); ++k) {
+    std::string current = initial_table;
+    for (size_t k = start_step; k < translation.steps.size(); ++k) {
+      QY_FAILPOINT("sim/gate");
       if (options_.query != nullptr) {
         QY_RETURN_IF_ERROR(options_.query->Check());
       }
@@ -83,6 +147,18 @@ Result<RunSummary> QymeraSimulator::ExecuteInternal(
         QY_RETURN_IF_ERROR(
             step_callback_(k, prepared.gates()[k], state));
       }
+      // Serialization reads the state table back exactly (eps = 0); a read
+      // failure inside the lambda surfaces through ser_status.
+      Status ser_status;
+      QY_RETURN_IF_ERROR(ckpt.AfterGate(k + 1, [&]() -> std::string {
+        auto state = ReadStateTable(db, current, n, /*prune_epsilon=*/0.0);
+        if (!state.ok()) {
+          ser_status = state.status();
+          return std::string();
+        }
+        return EncodeSparseState(*state);
+      }));
+      QY_RETURN_IF_ERROR(ser_status);
     }
     *final_table = current;
   }

@@ -1,9 +1,13 @@
 #include "sim/dd.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <deque>
 #include <unordered_map>
+
+#include "common/failpoint.h"
+#include "sim/checkpoint.h"
 
 namespace qy::sim {
 
@@ -171,7 +175,28 @@ class DdContext {
     ExtractRec(root, n - 1, BasisIndex{0}, Complex{1, 0}, eps, out);
   }
 
+  /// Rebuild a state DD from a sorted, duplicate-free amplitude list (the
+  /// checkpoint payload): split the range on the top qubit's bit and recurse,
+  /// letting MakeVNode re-normalize and re-unique the structure.
+  VEdge BuildFromAmplitudes(
+      const std::vector<std::pair<BasisIndex, Complex>>& amps, int n) {
+    return BuildListRec(amps.data(), amps.data() + amps.size(), n - 1);
+  }
+
  private:
+  VEdge BuildListRec(const std::pair<BasisIndex, Complex>* begin,
+                     const std::pair<BasisIndex, Complex>* end, int level) {
+    if (begin == end) return VEdge{nullptr, Complex{0, 0}};
+    if (level < 0) return VEdge{nullptr, begin->second};
+    BasisIndex bit = BasisIndex{1} << level;
+    const auto* mid = std::partition_point(
+        begin, end,
+        [&](const std::pair<BasisIndex, Complex>& p) {
+          return (p.first & bit) == BasisIndex{0};
+        });
+    return MakeVNode(level, BuildListRec(begin, mid, level - 1),
+                     BuildListRec(mid, end, level - 1));
+  }
   struct MNodeKey {
     int level;
     const MNode* c[4];
@@ -314,7 +339,55 @@ Result<SparseState> DdSimulator::Run(const qc::QuantumCircuit& circuit) {
   metrics_.backend_stat_name = "dd_nodes";
 
   VEdge state = ctx.ZeroState(n);
-  for (const qc::Gate& gate : circuit.gates()) {
+
+  CheckpointSession ckpt(options_, "dd", circuit.Fingerprint(),
+                         SimOptionsFingerprint(options_), n,
+                         circuit.NumGates());
+  std::string resume_payload;
+  QY_ASSIGN_OR_RETURN(uint64_t start_gate, ckpt.Begin(&resume_payload));
+  if (!resume_payload.empty()) {
+    // The payload is the exact (eps = 0) amplitude list; rebuild the DD.
+    BlobReader r(resume_payload);
+    uint64_t nnz;
+    QY_RETURN_IF_ERROR(r.U64(&nnz));
+    std::vector<std::pair<BasisIndex, Complex>> amps;
+    amps.reserve(nnz);
+    BasisIndex limit = BasisIndex{1} << n;
+    for (uint64_t i = 0; i < nnz; ++i) {
+      BasisIndex idx;
+      Complex amp;
+      QY_RETURN_IF_ERROR(r.Index(&idx));
+      QY_RETURN_IF_ERROR(r.C128(&amp));
+      if (idx >= limit) {
+        return Status::DataLoss("checkpoint amplitude index out of range");
+      }
+      amps.emplace_back(idx, amp);
+    }
+    std::sort(amps.begin(), amps.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t i = 1; i < amps.size(); ++i) {
+      if (amps[i].first == amps[i - 1].first) {
+        return Status::DataLoss("checkpoint has duplicate amplitude indices");
+      }
+    }
+    state = ctx.BuildFromAmplitudes(amps, n);
+  }
+  auto serialize = [&] {
+    std::vector<std::pair<BasisIndex, Complex>> amps;
+    ctx.ExtractAmplitudes(state, n, /*eps=*/0.0, &amps);
+    BlobWriter w;
+    w.U64(amps.size());
+    for (const auto& [idx, amp] : amps) {
+      w.Index(idx);
+      w.C128(amp);
+    }
+    return w.TakeBytes();
+  };
+
+  const std::vector<qc::Gate>& gates = circuit.gates();
+  for (size_t gi = start_gate; gi < gates.size(); ++gi) {
+    const qc::Gate& gate = gates[gi];
+    QY_FAILPOINT("sim/gate");
     if (options_.query != nullptr) QY_RETURN_IF_ERROR(options_.query->Check());
     QY_ASSIGN_OR_RETURN(qc::GateMatrix u, qc::MatrixForGate(gate));
     MEdge m = ctx.BuildGate(u, gate.qubits, n);
@@ -327,6 +400,7 @@ Result<SparseState> DdSimulator::Run(const qc::QuantumCircuit& circuit) {
           "decision diagram: " + std::to_string(ctx.nodes_created()) +
           " nodes exceed memory budget after gate " + gate.ToString());
     }
+    QY_RETURN_IF_ERROR(ckpt.AfterGate(gi + 1, serialize));
   }
   metrics_.backend_stat = ctx.nodes_created();
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "circuit/decompose.h"
+#include "common/failpoint.h"
+#include "sim/checkpoint.h"
 #include "sim/svd.h"
 
 namespace qy::sim {
@@ -163,6 +165,53 @@ class MpsState {
     return Status::OK();
   }
 
+  /// Checkpoint payload: the native site tensors (restoring them is exact
+  /// and O(tensor bytes), unlike re-factorizing a sparse state into an MPS).
+  std::string Serialize() const {
+    BlobWriter w;
+    w.U32(static_cast<uint32_t>(n_));
+    w.U32(static_cast<uint32_t>(max_bond_));
+    for (const SiteTensor& s : sites_) {
+      w.U32(static_cast<uint32_t>(s.dl));
+      w.U32(static_cast<uint32_t>(s.dr));
+      for (const Complex& c : s.data) w.C128(c);
+    }
+    return w.TakeBytes();
+  }
+
+  Status Restore(const std::string& payload) {
+    BlobReader r(payload);
+    uint32_t n, max_bond;
+    QY_RETURN_IF_ERROR(r.U32(&n));
+    QY_RETURN_IF_ERROR(r.U32(&max_bond));
+    if (static_cast<int>(n) != n_) {
+      return Status::DataLoss("checkpoint MPS has wrong site count");
+    }
+    std::vector<SiteTensor> sites(n_);
+    int prev_dr = 1;
+    for (SiteTensor& s : sites) {
+      uint32_t dl, dr;
+      QY_RETURN_IF_ERROR(r.U32(&dl));
+      QY_RETURN_IF_ERROR(r.U32(&dr));
+      if (dl == 0 || dr == 0 || static_cast<int>(dl) != prev_dr ||
+          static_cast<int>(dl) > opts_.mps_max_bond ||
+          static_cast<int>(dr) > opts_.mps_max_bond) {
+        return Status::DataLoss("checkpoint MPS has inconsistent bond dims");
+      }
+      s.dl = static_cast<int>(dl);
+      s.dr = static_cast<int>(dr);
+      s.data.resize(static_cast<size_t>(s.dl) * 2 * s.dr);
+      for (Complex& c : s.data) QY_RETURN_IF_ERROR(r.C128(&c));
+      prev_dr = s.dr;
+    }
+    if (prev_dr != 1 || !r.AtEnd()) {
+      return Status::DataLoss("checkpoint MPS payload malformed");
+    }
+    sites_ = std::move(sites);
+    max_bond_ = static_cast<int>(max_bond);
+    return TrackMemory();
+  }
+
   /// Extract nonzero amplitudes by depth-first contraction with dead-branch
   /// pruning (exact-zero subtrees vanish, keeping sparse states cheap).
   void Extract(double eps,
@@ -215,25 +264,42 @@ Result<SparseState> MpsSimulator::Run(const qc::QuantumCircuit& circuit) {
   metrics_ = SimMetrics{};
   metrics_.backend_stat_name = "max_bond";
 
-  for (const qc::Gate& gate : lowered.gates()) {
+  // Checkpoint gate indices refer to the lowered circuit: the decomposition
+  // is deterministic, so its fingerprint identifies the run exactly.
+  CheckpointSession ckpt(options_, "mps", lowered.Fingerprint(),
+                         SimOptionsFingerprint(options_), n,
+                         lowered.NumGates());
+  std::string resume_payload;
+  QY_ASSIGN_OR_RETURN(uint64_t start_gate, ckpt.Begin(&resume_payload));
+  if (!resume_payload.empty()) {
+    QY_RETURN_IF_ERROR(state.Restore(resume_payload));
+  }
+
+  const std::vector<qc::Gate>& gates = lowered.gates();
+  for (size_t gi = start_gate; gi < gates.size(); ++gi) {
+    const qc::Gate& gate = gates[gi];
+    QY_FAILPOINT("sim/gate");
     if (options_.query != nullptr) QY_RETURN_IF_ERROR(options_.query->Check());
     QY_ASSIGN_OR_RETURN(qc::GateMatrix u, qc::MatrixForGate(gate));
     if (gate.qubits.size() == 1) {
       QY_RETURN_IF_ERROR(state.ApplyGate1(u, gate.qubits[0]));
-      continue;
+    } else {
+      int qa = gate.qubits[0], qb = gate.qubits[1];
+      int lo = std::min(qa, qb), hi = std::max(qa, qb);
+      // Route the upper qubit down to lo+1 with SWAP contractions.
+      QY_ASSIGN_OR_RETURN(
+          qc::GateMatrix swap_u,
+          qc::MatrixForGate({qc::GateType::kSwap, {0, 1}, {}, {}, ""}));
+      for (int s = hi; s > lo + 1; --s) {
+        QY_RETURN_IF_ERROR(state.ApplyGate2(swap_u, s - 1, true));
+      }
+      QY_RETURN_IF_ERROR(state.ApplyGate2(u, lo, /*lo_is_bit0=*/qa == lo));
+      for (int s = lo + 2; s <= hi; ++s) {
+        QY_RETURN_IF_ERROR(state.ApplyGate2(swap_u, s - 1, true));
+      }
     }
-    int qa = gate.qubits[0], qb = gate.qubits[1];
-    int lo = std::min(qa, qb), hi = std::max(qa, qb);
-    // Route the upper qubit down to lo+1 with SWAP contractions.
-    QY_ASSIGN_OR_RETURN(qc::GateMatrix swap_u,
-                        qc::MatrixForGate({qc::GateType::kSwap, {0, 1}, {}, {}, ""}));
-    for (int s = hi; s > lo + 1; --s) {
-      QY_RETURN_IF_ERROR(state.ApplyGate2(swap_u, s - 1, true));
-    }
-    QY_RETURN_IF_ERROR(state.ApplyGate2(u, lo, /*lo_is_bit0=*/qa == lo));
-    for (int s = lo + 2; s <= hi; ++s) {
-      QY_RETURN_IF_ERROR(state.ApplyGate2(swap_u, s - 1, true));
-    }
+    QY_RETURN_IF_ERROR(
+        ckpt.AfterGate(gi + 1, [&state] { return state.Serialize(); }));
   }
 
   std::vector<std::pair<BasisIndex, Complex>> amps;

@@ -30,6 +30,17 @@ struct SimOptions {
   /// least once per gate and stops with kCancelled / kDeadlineExceeded.
   /// Not owned; must outlive the simulator run.
   const QueryContext* query = nullptr;
+
+  /// Crash-safe checkpointing (see sim/checkpoint.h). When checkpoint_dir is
+  /// set and checkpoint_every_n_gates > 0, every backend atomically persists
+  /// its live state plus a checksummed manifest after each N applied gates;
+  /// with resume=true a run validates an existing checkpoint against the
+  /// submitted circuit and continues from the recorded gate instead of
+  /// starting over. Corrupted checkpoints fail with kDataLoss; checkpoints
+  /// from a different circuit/backend/options with kInvalidArgument.
+  std::string checkpoint_dir;
+  uint64_t checkpoint_every_n_gates = 0;
+  bool resume = false;
 };
 
 /// Per-run metrics every backend reports.

@@ -3,6 +3,9 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "common/failpoint.h"
+#include "sim/checkpoint.h"
+
 namespace qy::sim {
 
 namespace {
@@ -24,8 +27,41 @@ Result<SparseState> SparseSimulator::Run(const qc::QuantumCircuit& circuit) {
   state[BasisIndex{0}] = Complex{1, 0};
   uint64_t peak_entries = 1;
 
+  CheckpointSession ckpt(options_, "sparse", circuit.Fingerprint(),
+                         SimOptionsFingerprint(options_), n,
+                         circuit.NumGates());
+  std::string resume_payload;
+  QY_ASSIGN_OR_RETURN(uint64_t start_gate, ckpt.Begin(&resume_payload));
+  if (!resume_payload.empty()) {
+    BlobReader r(resume_payload);
+    uint64_t nnz;
+    QY_RETURN_IF_ERROR(r.U64(&nnz));
+    state.clear();
+    state.reserve(nnz);
+    for (uint64_t i = 0; i < nnz; ++i) {
+      BasisIndex idx;
+      Complex amp;
+      QY_RETURN_IF_ERROR(r.Index(&idx));
+      QY_RETURN_IF_ERROR(r.C128(&amp));
+      state[idx] = amp;
+    }
+    peak_entries = std::max<uint64_t>(peak_entries, state.size());
+  }
+  auto serialize = [&] {
+    BlobWriter w;
+    w.U64(state.size());
+    for (const auto& [idx, amp] : state) {
+      w.Index(idx);
+      w.C128(amp);
+    }
+    return w.TakeBytes();
+  };
+
   double cut = options_.prune_epsilon * options_.prune_epsilon;
-  for (const qc::Gate& gate : circuit.gates()) {
+  const std::vector<qc::Gate>& gates = circuit.gates();
+  for (size_t gi = start_gate; gi < gates.size(); ++gi) {
+    const qc::Gate& gate = gates[gi];
+    QY_FAILPOINT("sim/gate");
     if (options_.query != nullptr) QY_RETURN_IF_ERROR(options_.query->Check());
     QY_ASSIGN_OR_RETURN(qc::GateMatrix u, qc::MatrixForGate(gate));
     int dim = u.dim;
@@ -60,6 +96,7 @@ Result<SparseState> SparseSimulator::Run(const qc::QuantumCircuit& circuit) {
           "sparse simulator: " + std::to_string(state.size()) +
           " amplitudes exceed memory budget after gate " + gate.ToString());
     }
+    QY_RETURN_IF_ERROR(ckpt.AfterGate(gi + 1, serialize));
   }
 
   std::vector<std::pair<BasisIndex, Complex>> amps(state.begin(), state.end());

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "common/failpoint.h"
+#include "sim/checkpoint.h"
+
 namespace qy::sim {
 
 int StatevectorSimulator::MaxQubitsForBudget(uint64_t budget_bytes) {
@@ -34,8 +37,50 @@ Result<SparseState> StatevectorSimulator::Run(
   std::vector<Complex> vec(size_t{1} << n, Complex{0, 0});
   vec[0] = Complex{1, 0};
 
+  CheckpointSession ckpt(options_, "statevector", circuit.Fingerprint(),
+                         SimOptionsFingerprint(options_), n,
+                         circuit.NumGates());
+  std::string resume_payload;
+  QY_ASSIGN_OR_RETURN(uint64_t start_gate, ckpt.Begin(&resume_payload));
+  if (!resume_payload.empty()) {
+    // The payload is the sparse nonzero list; scatter it into the dense
+    // vector (everything else is an exact zero by construction).
+    vec[0] = Complex{0, 0};
+    BlobReader r(resume_payload);
+    uint64_t nnz;
+    QY_RETURN_IF_ERROR(r.U64(&nnz));
+    for (uint64_t i = 0; i < nnz; ++i) {
+      BasisIndex idx;
+      Complex amp;
+      QY_RETURN_IF_ERROR(r.Index(&idx));
+      QY_RETURN_IF_ERROR(r.C128(&amp));
+      if (idx >= (BasisIndex{1} << n)) {
+        return Status::DataLoss("checkpoint amplitude index out of range");
+      }
+      vec[static_cast<uint64_t>(idx)] = amp;
+    }
+  }
+  auto serialize = [&] {
+    BlobWriter w;
+    uint64_t nnz = 0;
+    for (const Complex& a : vec) {
+      if (a != Complex{0, 0}) ++nnz;
+    }
+    w.U64(nnz);
+    for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+      if (vec[idx] != Complex{0, 0}) {
+        w.Index(BasisIndex{idx});
+        w.C128(vec[idx]);
+      }
+    }
+    return w.TakeBytes();
+  };
+
+  const std::vector<qc::Gate>& gates = circuit.gates();
   std::vector<Complex> gathered, transformed;
-  for (const qc::Gate& gate : circuit.gates()) {
+  for (size_t gi = start_gate; gi < gates.size(); ++gi) {
+    const qc::Gate& gate = gates[gi];
+    QY_FAILPOINT("sim/gate");
     if (options_.query != nullptr) QY_RETURN_IF_ERROR(options_.query->Check());
     QY_ASSIGN_OR_RETURN(qc::GateMatrix u, qc::MatrixForGate(gate));
     int k = static_cast<int>(gate.qubits.size());
@@ -71,9 +116,7 @@ Result<SparseState> StatevectorSimulator::Run(
         base = (base - rest_mask) & rest_mask;
         if (base == 0) break;
       }
-      continue;
-    }
-    if (k == 2) {
+    } else if (k == 2) {
       // Unrolled two-qubit fast path (CX/CZ/CP/SWAP and fused pairs).
       uint64_t o1 = pattern_offset[1], o2 = pattern_offset[2],
                o3 = pattern_offset[3];
@@ -92,22 +135,27 @@ Result<SparseState> StatevectorSimulator::Run(
         base = (base - rest_mask) & rest_mask;
         if (base == 0) break;
       }
-      continue;
-    }
-    uint64_t base = 0;
-    while (true) {
-      for (int p = 0; p < dim; ++p) gathered[p] = vec[base + pattern_offset[p]];
-      for (int row = 0; row < dim; ++row) {
-        Complex acc{0, 0};
-        for (int col = 0; col < dim; ++col) {
-          acc += u.At(row, col) * gathered[col];
+    } else {
+      uint64_t base = 0;
+      while (true) {
+        for (int p = 0; p < dim; ++p) {
+          gathered[p] = vec[base + pattern_offset[p]];
         }
-        transformed[row] = acc;
+        for (int row = 0; row < dim; ++row) {
+          Complex acc{0, 0};
+          for (int col = 0; col < dim; ++col) {
+            acc += u.At(row, col) * gathered[col];
+          }
+          transformed[row] = acc;
+        }
+        for (int p = 0; p < dim; ++p) {
+          vec[base + pattern_offset[p]] = transformed[p];
+        }
+        base = (base - rest_mask) & rest_mask;
+        if (base == 0) break;
       }
-      for (int p = 0; p < dim; ++p) vec[base + pattern_offset[p]] = transformed[p];
-      base = (base - rest_mask) & rest_mask;
-      if (base == 0) break;
     }
+    QY_RETURN_IF_ERROR(ckpt.AfterGate(gi + 1, serialize));
   }
 
   // Extract nonzero amplitudes into the sparse result.

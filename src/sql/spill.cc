@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/checksum.h"
 #include "common/failpoint.h"
 
 namespace qy::sql {
@@ -76,7 +77,7 @@ void SerializeRawValue(const Value& v, std::string* buf) {
 
 Status ByteReader::ReadBytes(void* dst, size_t n) {
   if (pos_ + n > size_) {
-    return Status::IoError("spill record truncated");
+    return Status::DataLoss("spill record truncated");
   }
   std::memcpy(dst, data_ + pos_, n);
   pos_ += n;
@@ -118,7 +119,7 @@ Status ByteReader::ReadValue(DataType type, Value* out) {
     case DataType::kVarchar: {
       uint32_t len;
       QY_RETURN_IF_ERROR(ReadBytes(&len, sizeof(len)));
-      if (pos_ + len > size_) return Status::IoError("spill string truncated");
+      if (pos_ + len > size_) return Status::DataLoss("spill string truncated");
       *out = Value::Varchar(std::string(data_ + pos_, len));
       pos_ += len;
       return Status::OK();
@@ -139,20 +140,59 @@ Status RecordWriter::Write(const std::string& record) {
 Status RecordWriter::Flush() {
   if (buffer_.empty()) return Status::OK();
   QY_FAILPOINT("spill/write");
+  uint32_t header[3] = {kSpillPageMagic,
+                        static_cast<uint32_t>(buffer_.size()),
+                        Crc32c(buffer_)};
+  QY_RETURN_IF_ERROR(file_->WriteBytes(header, sizeof(header)));
   QY_RETURN_IF_ERROR(file_->WriteBytes(buffer_.data(), buffer_.size()));
   buffer_.clear();
   return Status::OK();
 }
 
-Status RecordReader::Read(std::string* record, bool* eof) {
+Status RecordReader::LoadPage(bool* eof) {
   QY_FAILPOINT("spill/read");
-  uint32_t len = 0;
-  QY_RETURN_IF_ERROR(file_->ReadBytes(&len, sizeof(len), eof));
+  uint32_t header[3];
+  QY_RETURN_IF_ERROR(file_->ReadBytes(header, sizeof(header), eof));
   if (*eof) return Status::OK();
-  record->resize(len);
+  if (header[0] != kSpillPageMagic) {
+    return Status::DataLoss("corrupted spill page header in " +
+                            file_->path());
+  }
+  page_.resize(header[1]);
+  pos_ = 0;
   bool mid_eof = false;
-  QY_RETURN_IF_ERROR(file_->ReadBytes(record->data(), len, &mid_eof));
-  if (mid_eof && len > 0) return Status::IoError("truncated spill record");
+  QY_RETURN_IF_ERROR(file_->ReadBytes(page_.data(), page_.size(), &mid_eof));
+  if (mid_eof && !page_.empty()) {
+    return Status::DataLoss("torn spill page in " + file_->path());
+  }
+  if (Crc32c(page_) != header[2]) {
+    return Status::DataLoss("spill page checksum mismatch in " +
+                            file_->path());
+  }
+  return Status::OK();
+}
+
+Status RecordReader::Read(std::string* record, bool* eof) {
+  *eof = false;
+  if (pos_ >= page_.size()) {
+    QY_RETURN_IF_ERROR(LoadPage(eof));
+    if (*eof) return Status::OK();
+  }
+  // The writer flushes at record boundaries, so a record that would cross a
+  // page boundary can only mean corruption the CRC did not cover (e.g. a
+  // valid page from a different file spliced in).
+  if (page_.size() - pos_ < sizeof(uint32_t)) {
+    return Status::DataLoss("truncated record header in spill page of " +
+                            file_->path());
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, page_.data() + pos_, sizeof(len));
+  pos_ += sizeof(len);
+  if (page_.size() - pos_ < len) {
+    return Status::DataLoss("truncated spill record in " + file_->path());
+  }
+  record->assign(page_.data() + pos_, len);
+  pos_ += len;
   return Status::OK();
 }
 

@@ -2,8 +2,16 @@
 /// Binary row (de)serialization for out-of-core spill partitions.
 ///
 /// Format per value: [valid:u8][payload], payload fixed-width for numeric
-/// types, length-prefixed (u32) for VARCHAR. Rows are concatenated; files are
-/// framed by the writer knowing the schema.
+/// types, length-prefixed (u32) for VARCHAR. Rows are concatenated into
+/// length-framed records, and records are batched into checksummed pages:
+///
+///   page   := [magic:u32][payload_len:u32][crc32c:u32] payload
+///   payload:= ([record_len:u32] record)*
+///
+/// The writer flushes a page at record boundaries (every ~1 MiB), so a
+/// record never straddles pages. The reader verifies the magic and CRC32C of
+/// every page before parsing records; torn writes, truncation and bit flips
+/// surface as a clean kDataLoss Status instead of garbage rows or UB.
 #pragma once
 
 #include <cstdint>
@@ -38,7 +46,11 @@ class ByteReader {
   size_t pos_ = 0;
 };
 
-/// Buffered writer of length-framed records into a TempFile.
+/// Magic marking the start of every spill page ("QYPG", little-endian).
+inline constexpr uint32_t kSpillPageMagic = 0x47505951u;
+
+/// Buffered writer of length-framed records into a TempFile, one checksummed
+/// page per flush.
 class RecordWriter {
  public:
   explicit RecordWriter(TempFile* file) : file_(file) {}
@@ -54,7 +66,8 @@ class RecordWriter {
   uint64_t records_ = 0;
 };
 
-/// Streaming reader of records framed by RecordWriter.
+/// Streaming reader of records framed by RecordWriter. Every page's CRC32C
+/// is verified when it is loaded; corruption is reported as kDataLoss.
 class RecordReader {
  public:
   explicit RecordReader(TempFile* file) : file_(file) {}
@@ -63,7 +76,12 @@ class RecordReader {
   Status Read(std::string* record, bool* eof);
 
  private:
+  /// Load and verify the next page into page_; *eof at clean end-of-file.
+  Status LoadPage(bool* eof);
+
   TempFile* file_;
+  std::string page_;
+  size_t pos_ = 0;
 };
 
 }  // namespace qy::sql

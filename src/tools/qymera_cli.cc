@@ -57,6 +57,12 @@ int Usage() {
                "  --steps          print intermediate states (qymera-sql)\n"
                "  --timeout-ms=N   (run) abort the simulation after N ms "
                "(DeadlineExceeded); Ctrl-C cancels cooperatively\n"
+               "  --checkpoint-dir=D   (run) persist crash-safe checkpoints "
+               "into directory D\n"
+               "  --checkpoint-every=N (run) checkpoint after every N applied "
+               "gates (default 1 when a dir is set)\n"
+               "  --resume         (run) continue from the checkpoint in "
+               "--checkpoint-dir instead of starting over\n"
                "  --failpoints=S   arm fault-injection sites, e.g. "
                "spill/write=io_error,mem/reserve=oom@3 (testing)\n");
   return 2;
@@ -95,6 +101,9 @@ struct CliOptions {
   bool steps = false;
   int64_t timeout_ms = 0;   ///< 0 = no deadline
   std::string failpoints;   ///< fault-injection spec (testing)
+  std::string checkpoint_dir;
+  uint64_t checkpoint_every = 0;  ///< 0 = default (1) when a dir is set
+  bool resume = false;
 };
 
 CliOptions ParseFlags(int argc, char** argv, int first) {
@@ -113,6 +122,11 @@ CliOptions ParseFlags(int argc, char** argv, int first) {
       out.timeout_ms = std::strtoll(arg.c_str() + 13, nullptr, 10);
     else if (arg.rfind("--failpoints=", 0) == 0)
       out.failpoints = arg.substr(13);
+    else if (arg.rfind("--checkpoint-dir=", 0) == 0)
+      out.checkpoint_dir = arg.substr(17);
+    else if (arg.rfind("--checkpoint-every=", 0) == 0)
+      out.checkpoint_every = std::strtoull(arg.c_str() + 19, nullptr, 10);
+    else if (arg == "--resume") out.resume = true;
   }
   return out;
 }
@@ -174,6 +188,16 @@ int CmdRun(const qc::QuantumCircuit& circuit, const CliOptions& cli) {
   }
   sim::SimOptions options;
   if (cli.budget_mib > 0) options.memory_budget_bytes = cli.budget_mib << 20;
+  if (!cli.checkpoint_dir.empty() || cli.resume) {
+    if (cli.checkpoint_dir.empty()) {
+      std::fprintf(stderr, "--resume requires --checkpoint-dir=D\n");
+      return 2;
+    }
+    options.checkpoint_dir = cli.checkpoint_dir;
+    options.checkpoint_every_n_gates =
+        cli.checkpoint_every > 0 ? cli.checkpoint_every : 1;
+    options.resume = cli.resume;
+  }
 
   // Cooperative interruption: Ctrl-C fires g_interrupt, --timeout-ms arms a
   // deadline; the engine polls `query` once per chunk/morsel/gate.
