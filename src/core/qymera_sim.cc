@@ -42,6 +42,16 @@ Result<sim::SparseState> DecodeSparseState(const std::string& payload, int n) {
   return sim::SparseState(n, std::move(amps));
 }
 
+/// One-line rendering of the database's plan-cache counters, appended to the
+/// operator profile (CLI --stats).
+std::string PlanCacheLine(const sql::Database& db) {
+  const sql::PlanCacheStats& s = db.plan_cache_stats();
+  return "PlanCache: hits=" + std::to_string(s.hits) +
+         " misses=" + std::to_string(s.misses) +
+         " invalidations=" + std::to_string(s.invalidations) +
+         " evictions=" + std::to_string(s.evictions) + "\n";
+}
+
 }  // namespace
 
 Result<Translation> QymeraSimulator::Translate(
@@ -54,6 +64,8 @@ Result<Translation> QymeraSimulator::Translate(
   topts.use_hugeint = qopts_.force_hugeint || circuit.num_qubits() > 62;
   topts.prune_epsilon = options_.prune_epsilon;
   topts.order_final = qopts_.final_order_by;
+  topts.ping_pong_states =
+      qopts_.mode == QymeraOptions::Mode::kMaterializedSteps;
   return TranslateCircuit(prepared, topts);
 }
 
@@ -74,6 +86,11 @@ Result<RunSummary> QymeraSimulator::ExecuteInternal(
   topts.use_hugeint = use_hugeint;
   topts.prune_epsilon = options_.prune_epsilon;
   topts.order_final = qopts_.final_order_by;
+  // Ping-pong state naming makes the per-gate SQL text repeat across gates
+  // of the same shape, turning the engine's plan cache into one
+  // parse/bind/plan per distinct shape for the whole circuit.
+  topts.ping_pong_states =
+      qopts_.mode == QymeraOptions::Mode::kMaterializedSteps;
   QY_ASSIGN_OR_RETURN(Translation translation,
                       TranslateCircuit(prepared, topts));
 
@@ -171,6 +188,8 @@ Result<RunSummary> QymeraSimulator::ExecuteInternal(
   summary.final_rows = static_cast<uint64_t>(norm_result.GetInt64(0, 0));
   summary.norm_squared = norm_result.GetDouble(0, 1);
   summary.rows_spilled = db->total_rows_spilled();
+  summary.plan_cache_hits = db->plan_cache_stats().hits;
+  summary.plan_cache_misses = db->plan_cache_stats().misses;
 
   summary.metrics.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -197,7 +216,7 @@ Result<RunSummary> QymeraSimulator::Execute(const qc::QuantumCircuit& circuit) {
   int n = 0;
   QY_ASSIGN_OR_RETURN(RunSummary summary,
                       ExecuteInternal(circuit, &db, &final_table, &n));
-  summary.operator_profile = db.profile().ToString();
+  summary.operator_profile = db.profile().ToString() + PlanCacheLine(db);
   metrics_ = summary.metrics;
   return summary;
 }
@@ -213,7 +232,7 @@ Result<sim::SparseState> QymeraSimulator::Run(
       sim::SparseState state,
       ReadStateTable(&db, final_table, n, options_.prune_epsilon));
   metrics_ = summary.metrics;
-  last_operator_profile_ = db.profile().ToString();
+  last_operator_profile_ = db.profile().ToString() + PlanCacheLine(db);
   return state;
 }
 

@@ -57,6 +57,11 @@ struct RunSummary {
   double norm_squared = 0;
   uint64_t max_intermediate_rows = 0;
   uint64_t rows_spilled = 0;
+  /// Prepared-plan cache counters of the run's database. In materialized
+  /// mode the per-gate loop ping-pongs between two state-table names, so
+  /// every repetition of a gate shape is a cache hit (parsed/planned once).
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
   /// Per-operator stats rendering (sql::QueryProfile::ToString()).
   std::string operator_profile;
   sim::SimMetrics metrics;

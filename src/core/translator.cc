@@ -17,6 +17,28 @@ std::string MaskLiteral(qy::BasisIndex mask) {
   return qy::UInt128ToString(mask);
 }
 
+/// SELECT body applying `gate` to state relation `in` joined with gate
+/// relation `g` (paper Fig. 2c, one step).
+std::string StepSelectSql(const qc::Gate& gate, const std::string& in,
+                          const std::string& g,
+                          const TranslateOptions& options) {
+  std::string out_expr = ScatterExpr(in, g, gate.qubits, options.use_hugeint);
+  std::string in_expr = GatherExpr(in, gate.qubits);
+  std::string sum_r =
+      "SUM((" + in + ".r * " + g + ".r) - (" + in + ".i * " + g + ".i))";
+  std::string sum_i =
+      "SUM((" + in + ".r * " + g + ".i) + (" + in + ".i * " + g + ".r))";
+  std::string sql = "SELECT " + out_expr + " AS s, " + sum_r + " AS r, " +
+                    sum_i + " AS i FROM " + in + " JOIN " + g + " ON " + g +
+                    ".in_s = " + in_expr + " GROUP BY " + out_expr;
+  if (options.prune_epsilon > 0) {
+    double eps2 = options.prune_epsilon * options.prune_epsilon;
+    sql += " HAVING ((" + sum_r + " * " + sum_r + ") + (" + sum_i + " * " +
+           sum_i + ")) > " + qy::DoubleToSql(eps2);
+  }
+  return sql;
+}
+
 }  // namespace
 
 std::string GatherExpr(const std::string& table,
@@ -100,42 +122,41 @@ Result<Translation> TranslateCircuit(const qc::QuantumCircuit& circuit,
     step_gate_tables.push_back(out.gate_tables[it->second].table_name);
   }
 
-  // Per-gate queries.
+  // Per-gate queries. Ping-pong naming alternates two relations by parity so
+  // repeated gate shapes produce identical SQL text (plan-cache friendly).
   const std::string& prefix = options.state_prefix;
   for (size_t k = 0; k < circuit.gates().size(); ++k) {
     const qc::Gate& gate = circuit.gates()[k];
     GateQuery step;
-    step.input_table = prefix + std::to_string(k);
-    step.output_table = prefix + std::to_string(k + 1);
-    step.gate_table = step_gate_tables[k];
-    const std::string& in = step.input_table;
-    const std::string& g = step.gate_table;
-    std::string out_expr = ScatterExpr(in, g, gate.qubits, options.use_hugeint);
-    std::string in_expr = GatherExpr(in, gate.qubits);
-    std::string sum_r = "SUM((" + in + ".r * " + g + ".r) - (" + in + ".i * " +
-                        g + ".i))";
-    std::string sum_i = "SUM((" + in + ".r * " + g + ".i) + (" + in + ".i * " +
-                        g + ".r))";
-    step.select_sql = "SELECT " + out_expr + " AS s, " + sum_r + " AS r, " +
-                      sum_i + " AS i FROM " + in + " JOIN " + g + " ON " + g +
-                      ".in_s = " + in_expr + " GROUP BY " + out_expr;
-    if (options.prune_epsilon > 0) {
-      double eps2 = options.prune_epsilon * options.prune_epsilon;
-      step.select_sql += " HAVING ((" + sum_r + " * " + sum_r + ") + (" +
-                         sum_i + " * " + sum_i + ")) > " +
-                         qy::DoubleToSql(eps2);
+    if (options.ping_pong_states) {
+      step.input_table = prefix + std::to_string(k % 2);
+      step.output_table = prefix + std::to_string((k + 1) % 2);
+    } else {
+      step.input_table = prefix + std::to_string(k);
+      step.output_table = prefix + std::to_string(k + 1);
     }
+    step.gate_table = step_gate_tables[k];
+    step.select_sql =
+        StepSelectSql(gate, step.input_table, step.gate_table, options);
     out.steps.push_back(std::move(step));
   }
 
-  // Chained single query (Fig. 2c).
+  // Chained single query (Fig. 2c). CTE names must be unique within one WITH
+  // clause, so this always uses indexed names regardless of ping-pong.
   std::string final_table = prefix + std::to_string(circuit.gates().size());
   if (out.steps.empty()) {
     out.single_query = "SELECT s, r, i FROM " + prefix + "0";
   } else {
     std::vector<std::string> ctes;
-    for (const GateQuery& step : out.steps) {
-      ctes.push_back(step.output_table + " AS (" + step.select_sql + ")");
+    for (size_t k = 0; k < out.steps.size(); ++k) {
+      std::string cte_in = prefix + std::to_string(k);
+      std::string cte_out = prefix + std::to_string(k + 1);
+      std::string body =
+          options.ping_pong_states
+              ? StepSelectSql(circuit.gates()[k], cte_in,
+                              out.steps[k].gate_table, options)
+              : out.steps[k].select_sql;
+      ctes.push_back(cte_out + " AS (" + body + ")");
     }
     out.single_query = "WITH " + qy::StrJoin(ctes, ", ") + " SELECT s, r, i FROM " +
                        final_table;

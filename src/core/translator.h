@@ -28,6 +28,13 @@ struct TranslateOptions {
   bool order_final = true;
   /// Name prefix of the chained state relations: T0, T1, ...
   std::string state_prefix = "T";
+  /// Name the per-gate state relations by parity (T0/T1 alternating, ping-
+  /// pong) instead of by step index (T0..Tn). Repeated gate shapes then emit
+  /// byte-identical SQL text, which the engine's prepared-plan cache turns
+  /// into one parse/bind/plan per distinct shape for the whole circuit. Only
+  /// affects `steps`; `single_query` always uses indexed CTE names (CTE
+  /// names within one WITH clause must be unique).
+  bool ping_pong_states = false;
 };
 
 /// One gate's translation.

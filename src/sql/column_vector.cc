@@ -73,6 +73,85 @@ void ColumnVector::AppendFrom(const ColumnVector& other, size_t row) {
   }
 }
 
+void ColumnVector::AppendGather(const ColumnVector& src, const uint32_t* sel,
+                                size_t count) {
+  if (count == 0) return;
+  switch (type_) {
+    case DataType::kBool:
+      bools_.reserve(bools_.size() + count);
+      for (size_t i = 0; i < count; ++i) bools_.push_back(src.bools_[sel[i]]);
+      break;
+    case DataType::kBigInt:
+      i64_.reserve(i64_.size() + count);
+      for (size_t i = 0; i < count; ++i) i64_.push_back(src.i64_[sel[i]]);
+      break;
+    case DataType::kHugeInt:
+      i128_.reserve(i128_.size() + count);
+      for (size_t i = 0; i < count; ++i) i128_.push_back(src.i128_[sel[i]]);
+      break;
+    case DataType::kDouble:
+      f64_.reserve(f64_.size() + count);
+      for (size_t i = 0; i < count; ++i) f64_.push_back(src.f64_[sel[i]]);
+      break;
+    case DataType::kVarchar:
+      str_.reserve(str_.size() + count);
+      for (size_t i = 0; i < count; ++i) {
+        const std::string& s = src.str_[sel[i]];
+        str_bytes_ += s.size();
+        str_.push_back(s);
+      }
+      break;
+  }
+  if (!src.validity_.empty()) {
+    MaterializeValidity();
+    for (size_t i = 0; i < count; ++i) {
+      validity_.push_back(src.validity_[sel[i]]);
+    }
+  } else if (!validity_.empty()) {
+    validity_.insert(validity_.end(), count, 1);
+  }
+  size_ += count;
+}
+
+void ColumnVector::AppendRange(const ColumnVector& src, size_t offset,
+                               size_t count) {
+  if (count == 0) return;
+  switch (type_) {
+    case DataType::kBool:
+      bools_.insert(bools_.end(), src.bools_.begin() + offset,
+                    src.bools_.begin() + offset + count);
+      break;
+    case DataType::kBigInt:
+      i64_.insert(i64_.end(), src.i64_.begin() + offset,
+                  src.i64_.begin() + offset + count);
+      break;
+    case DataType::kHugeInt:
+      i128_.insert(i128_.end(), src.i128_.begin() + offset,
+                   src.i128_.begin() + offset + count);
+      break;
+    case DataType::kDouble:
+      f64_.insert(f64_.end(), src.f64_.begin() + offset,
+                  src.f64_.begin() + offset + count);
+      break;
+    case DataType::kVarchar:
+      str_.reserve(str_.size() + count);
+      for (size_t i = 0; i < count; ++i) {
+        const std::string& s = src.str_[offset + i];
+        str_bytes_ += s.size();
+        str_.push_back(s);
+      }
+      break;
+  }
+  if (!src.validity_.empty()) {
+    MaterializeValidity();
+    validity_.insert(validity_.end(), src.validity_.begin() + offset,
+                     src.validity_.begin() + offset + count);
+  } else if (!validity_.empty()) {
+    validity_.insert(validity_.end(), count, 1);
+  }
+  size_ += count;
+}
+
 bool ColumnVector::AnyNull() const {
   for (uint8_t v : validity_) {
     if (v == 0) return true;

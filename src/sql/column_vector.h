@@ -46,6 +46,15 @@ class ColumnVector {
   /// Append row `row` of `other` (same type).
   void AppendFrom(const ColumnVector& other, size_t row);
 
+  /// Bulk-append the rows of `src` (same type) selected by sel[0..count), in
+  /// selection order. One type switch per call instead of per row; NULLs are
+  /// carried through the validity bitmap (payload slots of NULL rows hold the
+  /// zero default, so payloads gather unconditionally).
+  void AppendGather(const ColumnVector& src, const uint32_t* sel, size_t count);
+
+  /// Bulk-append rows [offset, offset + count) of `src` (same type).
+  void AppendRange(const ColumnVector& src, size_t offset, size_t count);
+
   // -- access --
   bool IsNull(size_t i) const {
     return !validity_.empty() && validity_[i] == 0;

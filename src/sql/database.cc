@@ -10,7 +10,7 @@ namespace qy::sql {
 
 Database::Database(DatabaseOptions options)
     : options_(options), tracker_(options.memory_budget_bytes),
-      catalog_(&tracker_) {
+      catalog_(&tracker_), plan_cache_(options.plan_cache_capacity) {
   num_threads_ = options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
                                           : options.num_threads;
   if (num_threads_ > 1) {
@@ -34,8 +34,65 @@ ExecContext Database::MakeContext() {
 }
 
 Result<QueryResult> Database::Execute(const std::string& sql) {
+  // Cache check before parsing: a hit replays the bound plan with its scan
+  // pointers re-resolved against the live catalog (see plan_cache.h).
+  if (const CachedPlan* cached = plan_cache_.Lookup(sql, catalog_)) {
+    return ExecuteCached(*cached);
+  }
   QY_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  return ExecuteStatement(stmt);
+  return ExecuteStatement(stmt, &sql);
+}
+
+Result<QueryResult> Database::ExecuteCached(const CachedPlan& cached) {
+  auto start = std::chrono::steady_clock::now();
+  QueryResult result;
+  ExecStats stats;
+  if (cached.ctas_target.empty()) {
+    ExecContext ctx = MakeContext();
+    auto sink =
+        std::make_unique<Table>("", cached.plan->output_schema, &tracker_);
+    Status exec_status = ExecutePlan(*cached.plan, &ctx, sink.get());
+    stats.rows_spilled += ctx.rows_spilled;
+    stats.spill_partitions += ctx.spill_partitions;
+    total_rows_spilled_ += ctx.rows_spilled;
+    QY_RETURN_IF_ERROR(exec_status);
+    result = QueryResult(std::move(sink));
+  } else if (!(cached.if_not_exists && catalog_.HasTable(cached.ctas_target))) {
+    QY_ASSIGN_OR_RETURN(
+        Table * target,
+        catalog_.CreateTable(cached.ctas_target, cached.plan->output_schema,
+                             cached.or_replace));
+    ExecContext ctx = MakeContext();
+    Status exec_status = ExecutePlan(*cached.plan, &ctx, target);
+    stats.rows_spilled += ctx.rows_spilled;
+    stats.spill_partitions += ctx.spill_partitions;
+    total_rows_spilled_ += ctx.rows_spilled;
+    if (!exec_status.ok()) {
+      // Leave the catalog clean on failure (incl. cancellation mid-query).
+      (void)catalog_.DropTable(cached.ctas_target, /*if_exists=*/true);
+      return exec_status;
+    }
+    result.rows_changed = target->NumRows();
+  }
+  result.stats = stats;
+  result.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.stats.peak_tracked_bytes = tracker_.peak();
+  return result;
+}
+
+void Database::CachePlan(const std::string& sql, PlanNodePtr plan,
+                         std::string ctas_target, bool or_replace,
+                         bool if_not_exists) {
+  if (plan_cache_.capacity() == 0) return;
+  CachedPlan entry;
+  if (!CollectScanDeps(plan.get(), &entry.deps)) return;
+  entry.plan = std::move(plan);
+  entry.ctas_target = std::move(ctas_target);
+  entry.or_replace = or_replace;
+  entry.if_not_exists = if_not_exists;
+  plan_cache_.Insert(sql, std::move(entry));
 }
 
 Status Database::ExecuteScript(const std::string& sql) {
@@ -68,7 +125,8 @@ Result<std::string> Database::Explain(const std::string& sql) {
   return plan->ToString();
 }
 
-Result<QueryResult> Database::ExecuteStatement(const Statement& stmt) {
+Result<QueryResult> Database::ExecuteStatement(const Statement& stmt,
+                                               const std::string* sql) {
   auto start = std::chrono::steady_clock::now();
   auto finish = [&](QueryResult result) -> Result<QueryResult> {
     result.stats.wall_seconds =
@@ -79,7 +137,7 @@ Result<QueryResult> Database::ExecuteStatement(const Statement& stmt) {
   };
   switch (stmt.kind) {
     case Statement::Kind::kSelect: {
-      QY_ASSIGN_OR_RETURN(QueryResult result, RunSelect(*stmt.select));
+      QY_ASSIGN_OR_RETURN(QueryResult result, RunSelect(*stmt.select, sql));
       return finish(std::move(result));
     }
     case Statement::Kind::kExplain: {
@@ -136,6 +194,10 @@ Result<QueryResult> Database::ExecuteStatement(const Statement& stmt) {
         }
         result.rows_changed = target->NumRows();
         result.stats = stats;
+        if (sql != nullptr && create.as_select->ctes.empty()) {
+          CachePlan(*sql, std::move(plan), create.table_name,
+                    create.or_replace, create.if_not_exists);
+        }
         return finish(std::move(result));
       }
       QY_ASSIGN_OR_RETURN(
@@ -233,10 +295,28 @@ Result<QueryResult> Database::ExecuteStatement(const Statement& stmt) {
   return Status::Internal("unhandled statement kind");
 }
 
-Result<QueryResult> Database::RunSelect(const SelectStmt& select) {
+Result<QueryResult> Database::RunSelect(const SelectStmt& select,
+                                        const std::string* sql) {
   CteScope scope;
   std::vector<std::unique_ptr<Table>> temps;
   ExecStats stats;
+  if (sql != nullptr && select.ctes.empty() &&
+      plan_cache_.capacity() > 0) {
+    // Cacheable shape: bind here so the plan survives execution and can be
+    // stored (SelectToTable discards it).
+    QY_ASSIGN_OR_RETURN(PlanNodePtr plan, BindSelect(select, catalog_, scope));
+    ExecContext ctx = MakeContext();
+    auto sink = std::make_unique<Table>("", plan->output_schema, &tracker_);
+    QY_RETURN_IF_ERROR(ExecutePlan(*plan, &ctx, sink.get()));
+    stats.rows_spilled += ctx.rows_spilled;
+    stats.spill_partitions += ctx.spill_partitions;
+    total_rows_spilled_ += ctx.rows_spilled;
+    CachePlan(*sql, std::move(plan), /*ctas_target=*/"",
+              /*or_replace=*/false, /*if_not_exists=*/false);
+    QueryResult result(std::move(sink));
+    result.stats = stats;
+    return result;
+  }
   QY_ASSIGN_OR_RETURN(auto table, SelectToTable(select, scope, &temps, &stats));
   QueryResult result(std::move(table));
   result.stats = stats;

@@ -21,6 +21,7 @@
 #include "sql/catalog.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
+#include "sql/plan_cache.h"
 #include "sql/query_result.h"
 
 namespace qy::sql {
@@ -39,6 +40,11 @@ struct DatabaseOptions {
   /// by this Database polls it once per chunk/morsel and stops with
   /// kCancelled / kDeadlineExceeded. Not owned; must outlive the Database.
   const QueryContext* query = nullptr;
+  /// Max entries of the prepared-plan cache (SQL text -> bound plan, LRU).
+  /// Repeated statements skip parse/bind/plan entirely; stale entries are
+  /// detected and re-planned when DDL changed a referenced table. 0 disables
+  /// caching.
+  size_t plan_cache_capacity = 64;
 };
 
 class Database {
@@ -76,9 +82,21 @@ class Database {
   /// Total rows spilled to disk by queries so far.
   uint64_t total_rows_spilled() const { return total_rows_spilled_; }
 
+  /// Prepared-plan cache counters (hits/misses/invalidations/evictions).
+  const PlanCacheStats& plan_cache_stats() const { return plan_cache_.stats(); }
+  PlanCache& plan_cache() { return plan_cache_; }
+
  private:
-  Result<QueryResult> ExecuteStatement(const Statement& stmt);
-  Result<QueryResult> RunSelect(const SelectStmt& select);
+  Result<QueryResult> ExecuteStatement(const Statement& stmt,
+                                       const std::string* sql = nullptr);
+  Result<QueryResult> RunSelect(const SelectStmt& select,
+                                const std::string* sql = nullptr);
+  /// Execute a cache hit (plan's scan pointers already re-resolved).
+  Result<QueryResult> ExecuteCached(const CachedPlan& cached);
+  /// Cache `plan` under `sql` if all its scans reference named tables.
+  void CachePlan(const std::string& sql, PlanNodePtr plan,
+                 std::string ctas_target, bool or_replace,
+                 bool if_not_exists);
   /// Materialize a SELECT (with nested CTEs) into a fresh anonymous table.
   Result<std::unique_ptr<Table>> SelectToTable(
       const SelectStmt& select, CteScope scope,
@@ -95,6 +113,7 @@ class Database {
   std::unique_ptr<ThreadPool> pool_;  ///< non-null iff num_threads_ > 1
   QueryProfile profile_;
   uint64_t total_rows_spilled_ = 0;
+  PlanCache plan_cache_;
 };
 
 }  // namespace qy::sql

@@ -9,12 +9,15 @@
 /// recursing with deeper hash bits when a single partition still exceeds the
 /// budget. This mirrors classic Grace/hybrid hash aggregation and is the
 /// mechanism behind Qymera's out-of-core simulation (paper Sec. 3.3).
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <memory>
-#include <unordered_map>
 
 #include "sql/executor.h"
+#include "sql/hash_kernels.h"
+#include "sql/join_hash_table.h"
 #include "sql/spill.h"
 
 namespace qy::sql {
@@ -24,17 +27,9 @@ namespace {
 constexpr int kNumPartitions = 16;
 constexpr int kMaxDepth = 4;
 
-struct IntKey {
-  int128_t v;
-  bool null = false;
-  bool operator==(const IntKey& o) const { return null == o.null && v == o.v; }
-};
-struct IntKeyHash {
-  size_t operator()(const IntKey& k) const {
-    return k.null ? 0x1234567 : HashUInt128(static_cast<uint128_t>(k.v));
-  }
-};
-
+/// Legacy FNV over SerializeValue bytes — still the hash that routes groups
+/// to spill partitions (GroupHash/RouteRecord must agree across processes
+/// and PRs, so it is independent of the in-memory table's hash).
 uint64_t HashBytes(const std::string& s) {
   uint64_t h = 1469598103934665603ULL;
   for (char c : s) {
@@ -53,7 +48,10 @@ struct Accum {
   bool has = false;
 };
 
-/// An in-memory group table: hash map + key storage + accumulator arrays.
+/// An in-memory group table: flat open-addressing key index (dense group ids
+/// in first-seen order) + key storage + accumulator arrays. Group ids are
+/// assigned in input order, so output order is independent of the hash
+/// function — a prerequisite for byte-identical results across PRs.
 class GroupTable {
  public:
   GroupTable(const PlanNode& plan) : plan_(plan) {
@@ -63,6 +61,11 @@ class GroupTable {
     accums_.resize(plan.aggs.size());
     fast_ = plan.group_keys.size() == 1 &&
             IsInteger(plan.group_keys[0]->type);
+    keys_fixed_ = true;
+    for (const auto& k : plan.group_keys) {
+      if (k->type == DataType::kVarchar) keys_fixed_ = false;
+    }
+    key_offsets_.push_back(0);
   }
 
   size_t NumGroups() const {
@@ -85,78 +88,150 @@ class GroupTable {
     for (auto& a : accums_) a.emplace_back();
   }
 
-  /// Find or create the group for row `r` of the evaluated key columns.
-  uint32_t GroupIndex(const std::vector<ColumnVector>& keys, size_t r) {
+  /// Find-or-create group ids for rows [0, n) of the evaluated key columns:
+  /// the whole chunk is hashed/encoded up front (one type switch per column),
+  /// then each row does one flat-table lookup. Group ids are assigned in row
+  /// order, so first-seen output order is preserved exactly.
+  void GroupIndices(const std::vector<ColumnVector>& keys, size_t n,
+                    std::vector<uint32_t>* groups) {
+    groups->resize(n);
     if (plan_.group_keys.empty()) {
       EnsureScalarGroup();
-      return 0;
+      std::fill(groups->begin(), groups->end(), 0u);
+      return;
     }
     if (fast_) {
       const ColumnVector& kc = keys[0];
-      IntKey key{kc.IsNull(r) ? 0
-                 : kc.type() == DataType::kBigInt
-                     ? static_cast<int128_t>(kc.i64_data()[r])
-                     : kc.i128_data()[r],
-                 kc.IsNull(r)};
-      auto [it, inserted] = fast_map_.try_emplace(
-          key, static_cast<uint32_t>(key_store_.NumRows()));
-      if (inserted) AppendGroup(keys, r);
-      return it->second;
-    }
-    std::string key;
-    for (const auto& kc : keys) SerializeValue(kc, r, &key);
-    auto [it, inserted] = generic_map_.try_emplace(
-        std::move(key), static_cast<uint32_t>(key_store_.NumRows()));
-    if (inserted) AppendGroup(keys, r);
-    return it->second;
-  }
-
-  /// Update one accumulator from one input value.
-  void Update(size_t agg, uint32_t group, const ColumnVector* arg, size_t r) {
-    Accum& a = accums_[agg][group];
-    const BoundAggSpec& spec = plan_.aggs[agg];
-    if (spec.func == AggFunc::kCountStar) {
-      ++a.count;
+      NormalizeIntKeyColumn(kc, &scratch_values_);
+      HashIntKeyColumn(kc, scratch_values_, &scratch_hashes_);
+      for (size_t r = 0; r < n; ++r) {
+        bool is_null = kc.IsNull(r);
+        int128_t key = is_null ? 0 : scratch_values_[r];
+        bool inserted = false;
+        uint32_t id = index_.FindOrInsert(
+            scratch_hashes_[r], static_cast<uint32_t>(key_store_.NumRows()),
+            [&](uint32_t g) {
+              return (fast_nulls_[g] != 0) == is_null && fast_keys_[g] == key;
+            },
+            &inserted);
+        if (inserted) {
+          fast_keys_.push_back(key);
+          fast_nulls_.push_back(is_null ? 1 : 0);
+          AppendGroup(keys, r);
+        }
+        (*groups)[r] = id;
+      }
       return;
     }
-    if (arg->IsNull(r)) return;
+    EncodeKeyRows(keys, n, &scratch_enc_);
+    HashEncodedRows(scratch_enc_, &scratch_hashes_);
+    for (size_t r = 0; r < n; ++r) {
+      const char* key = scratch_enc_.RowPtr(r);
+      size_t len = scratch_enc_.RowLen(r);
+      bool inserted = false;
+      uint32_t id = index_.FindOrInsert(
+          scratch_hashes_[r], static_cast<uint32_t>(key_store_.NumRows()),
+          [&](uint32_t g) { return GroupKeyEquals(g, key, len); }, &inserted);
+      if (inserted) {
+        key_bytes_.append(key, len);
+        key_offsets_.push_back(static_cast<uint32_t>(key_bytes_.size()));
+        AppendGroup(keys, r);
+      }
+      (*groups)[r] = id;
+    }
+  }
+
+  /// Update aggregate `agg` from a whole chunk: the function/type dispatch is
+  /// hoisted out of the row loop. Rows are applied in order, so per-group
+  /// floating-point accumulation order is identical to the row-at-a-time
+  /// implementation this replaces.
+  void UpdateColumn(size_t agg, const std::vector<uint32_t>& groups,
+                    const ColumnVector* arg, size_t n) {
+    std::vector<Accum>& accs = accums_[agg];
+    const BoundAggSpec& spec = plan_.aggs[agg];
+    if (spec.func == AggFunc::kCountStar) {
+      for (size_t r = 0; r < n; ++r) ++accs[groups[r]].count;
+      return;
+    }
     switch (spec.func) {
       case AggFunc::kCount:
-        ++a.count;
+        for (size_t r = 0; r < n; ++r) {
+          if (!arg->IsNull(r)) ++accs[groups[r]].count;
+        }
         break;
       case AggFunc::kSum:
       case AggFunc::kAvg:
-        if (spec.arg->type == DataType::kDouble) {
-          a.f64 += arg->f64_data()[r];
-        } else if (spec.arg->type == DataType::kBigInt) {
-          a.i128 += arg->i64_data()[r];
-          a.f64 += static_cast<double>(arg->i64_data()[r]);
-        } else if (spec.arg->type == DataType::kHugeInt) {
-          a.i128 += arg->i128_data()[r];
-          a.f64 += static_cast<double>(arg->i128_data()[r]);
-        } else if (spec.arg->type == DataType::kBool) {
-          int64_t v = arg->bool_data()[r] ? 1 : 0;
-          a.i128 += v;
-          a.f64 += static_cast<double>(v);
+        switch (spec.arg->type) {
+          case DataType::kDouble: {
+            const double* v = arg->f64_data().data();
+            for (size_t r = 0; r < n; ++r) {
+              if (arg->IsNull(r)) continue;
+              Accum& a = accs[groups[r]];
+              a.f64 += v[r];
+              ++a.count;
+              a.has = true;
+            }
+            break;
+          }
+          case DataType::kBigInt: {
+            const int64_t* v = arg->i64_data().data();
+            for (size_t r = 0; r < n; ++r) {
+              if (arg->IsNull(r)) continue;
+              Accum& a = accs[groups[r]];
+              a.i128 += v[r];
+              a.f64 += static_cast<double>(v[r]);
+              ++a.count;
+              a.has = true;
+            }
+            break;
+          }
+          case DataType::kHugeInt: {
+            const int128_t* v = arg->i128_data().data();
+            for (size_t r = 0; r < n; ++r) {
+              if (arg->IsNull(r)) continue;
+              Accum& a = accs[groups[r]];
+              a.i128 += v[r];
+              a.f64 += static_cast<double>(v[r]);
+              ++a.count;
+              a.has = true;
+            }
+            break;
+          }
+          case DataType::kBool: {
+            const uint8_t* v = arg->bool_data().data();
+            for (size_t r = 0; r < n; ++r) {
+              if (arg->IsNull(r)) continue;
+              int64_t x = v[r] ? 1 : 0;
+              Accum& a = accs[groups[r]];
+              a.i128 += x;
+              a.f64 += static_cast<double>(x);
+              ++a.count;
+              a.has = true;
+            }
+            break;
+          }
+          case DataType::kVarchar:
+            break;  // SUM/AVG never bind a VARCHAR argument
         }
-        ++a.count;
-        a.has = true;
         break;
       case AggFunc::kMin:
-      case AggFunc::kMax: {
-        Value v = arg->GetValue(r);
-        if (!a.has) {
-          a.minmax = v;
-          a.has = true;
-        } else {
-          int c = v.Compare(a.minmax);
-          if ((spec.func == AggFunc::kMin && c < 0) ||
-              (spec.func == AggFunc::kMax && c > 0)) {
+      case AggFunc::kMax:
+        for (size_t r = 0; r < n; ++r) {
+          if (arg->IsNull(r)) continue;
+          Accum& a = accs[groups[r]];
+          Value v = arg->GetValue(r);
+          if (!a.has) {
             a.minmax = v;
+            a.has = true;
+          } else {
+            int c = v.Compare(a.minmax);
+            if ((spec.func == AggFunc::kMin && c < 0) ||
+                (spec.func == AggFunc::kMax && c > 0)) {
+              a.minmax = v;
+            }
           }
         }
         break;
-      }
       default:
         break;
     }
@@ -250,10 +325,10 @@ class GroupTable {
       out->columns.emplace_back(spec.result_type);
     }
     size_t nk = key_store_.columns.size();
+    for (size_t k = 0; k < nk; ++k) {
+      out->columns[k].AppendRange(key_store_.columns[k], from, count);
+    }
     for (uint32_t g = from; g < from + count; ++g) {
-      for (size_t k = 0; k < nk; ++k) {
-        out->columns[k].AppendFrom(key_store_.columns[k], g);
-      }
       for (size_t agg = 0; agg < plan_.aggs.size(); ++agg) {
         const BoundAggSpec& spec = plan_.aggs[agg];
         const Accum& a = accums_[agg][g];
@@ -294,14 +369,24 @@ class GroupTable {
   }
 
   void Clear() {
-    fast_map_.clear();
-    generic_map_.clear();
+    index_.Clear();
+    fast_keys_.clear();
+    fast_nulls_.clear();
+    key_bytes_.clear();
+    key_offsets_.assign(1, 0);
     key_store_.Clear();
     for (auto& a : accums_) a.clear();
     scalar_group_init_ = false;
   }
 
  private:
+  /// Compare the stored key bytes of group `g` against an encoded key row.
+  bool GroupKeyEquals(uint32_t g, const char* key, size_t len) const {
+    size_t off = key_offsets_[g];
+    return key_offsets_[g + 1] - off == len &&
+           std::memcmp(key_bytes_.data() + off, key, len) == 0;
+  }
+
   void AppendGroup(const std::vector<ColumnVector>& keys, size_t r) {
     for (size_t k = 0; k < keys.size(); ++k) {
       key_store_.columns[k].AppendFrom(keys[k], r);
@@ -314,20 +399,41 @@ class GroupTable {
       EnsureScalarGroup();
       return 0;
     }
+    bool inserted = false;
+    uint32_t id;
     if (fast_) {
       const Value& v = values[0];
-      IntKey key{v.is_null() ? 0 : v.AsHugeInt(), v.is_null()};
-      auto [it, inserted] = fast_map_.try_emplace(
-          key, static_cast<uint32_t>(key_store_.NumRows()));
-      if (inserted) AppendGroupValues(values);
-      return it->second;
+      bool is_null = v.is_null();
+      int128_t key = is_null ? 0 : v.AsHugeInt();
+      uint64_t hash = is_null ? kIntNullKeyHash : HashIntKey(key);
+      id = index_.FindOrInsert(
+          hash, static_cast<uint32_t>(key_store_.NumRows()),
+          [&](uint32_t g) {
+            return (fast_nulls_[g] != 0) == is_null && fast_keys_[g] == key;
+          },
+          &inserted);
+      if (inserted) {
+        fast_keys_.push_back(key);
+        fast_nulls_.push_back(is_null ? 1 : 0);
+        AppendGroupValues(values);
+      }
+      return id;
     }
+    // Same canonical bytes EncodeKeyRows produces for an equal row, so the
+    // chunk path and this Value path always agree.
     std::string key;
-    for (const auto& v : values) SerializeRawValue(v, &key);
-    auto [it, inserted] = generic_map_.try_emplace(
-        std::move(key), static_cast<uint32_t>(key_store_.NumRows()));
-    if (inserted) AppendGroupValues(values);
-    return it->second;
+    EncodeKeyValues(values, keys_fixed_, &key);
+    uint64_t hash = HashBytes64(key.data(), key.size());
+    id = index_.FindOrInsert(
+        hash, static_cast<uint32_t>(key_store_.NumRows()),
+        [&](uint32_t g) { return GroupKeyEquals(g, key.data(), key.size()); },
+        &inserted);
+    if (inserted) {
+      key_bytes_.append(key);
+      key_offsets_.push_back(static_cast<uint32_t>(key_bytes_.size()));
+      AppendGroupValues(values);
+    }
+    return id;
   }
 
   void AppendGroupValues(const std::vector<Value>& values) {
@@ -340,11 +446,20 @@ class GroupTable {
 
   const PlanNode& plan_;
   bool fast_ = false;
+  bool keys_fixed_ = true;
   bool scalar_group_init_ = false;
-  std::unordered_map<IntKey, uint32_t, IntKeyHash> fast_map_;
-  std::unordered_map<std::string, uint32_t> generic_map_;
+  FlatKeyIndex index_;
+  // Caller-side key stores backing the index's equality checks.
+  std::vector<int128_t> fast_keys_;   ///< fast path: per-group key value
+  std::vector<uint8_t> fast_nulls_;   ///< fast path: per-group NULL flag
+  std::string key_bytes_;             ///< generic path: encoded group keys
+  std::vector<uint32_t> key_offsets_; ///< size groups + 1
   DataChunk key_store_;
   std::vector<std::vector<Accum>> accums_;  // [agg][group]
+  // Per-chunk scratch (GroupTable is externally synchronized).
+  std::vector<int128_t> scratch_values_;
+  std::vector<uint64_t> scratch_hashes_;
+  EncodedKeyRows scratch_enc_;
 };
 
 /// One spill partition: a temp file of serialized partial-state records.
@@ -467,6 +582,7 @@ class HashAggNode : public ExecNode {
   /// Serial consume: identical to the pre-parallel engine (threads=1 keeps
   /// byte-identical behavior, including floating-point accumulation order).
   Status ConsumeSerial() {
+    std::vector<uint32_t> groups;
     while (true) {
       QY_RETURN_IF_ERROR(ctx_->CheckInterrupt());
       DataChunk in;
@@ -486,11 +602,10 @@ class HashAggNode : public ExecNode {
           QY_RETURN_IF_ERROR(plan_.aggs[a].arg->Evaluate(in, &args[a]));
         }
       }
-      for (size_t r = 0; r < n; ++r) {
-        uint32_t g = table_.GroupIndex(keys, r);
-        for (size_t a = 0; a < plan_.aggs.size(); ++a) {
-          table_.Update(a, g, plan_.aggs[a].arg ? &args[a] : nullptr, r);
-        }
+      table_.GroupIndices(keys, n, &groups);
+      for (size_t a = 0; a < plan_.aggs.size(); ++a) {
+        table_.UpdateColumn(a, groups, plan_.aggs[a].arg ? &args[a] : nullptr,
+                            n);
       }
       QY_RETURN_IF_ERROR(CheckMemoryAndMaybeSpill());
     }
@@ -615,11 +730,11 @@ class HashAggNode : public ExecNode {
                           const std::vector<ColumnVector>& args,
                           std::mutex& spill_mu) {
     size_t n = in.NumRows();
-    for (size_t r = 0; r < n; ++r) {
-      uint32_t g = part->table.GroupIndex(keys, r);
-      for (size_t a = 0; a < plan_.aggs.size(); ++a) {
-        part->table.Update(a, g, plan_.aggs[a].arg ? &args[a] : nullptr, r);
-      }
+    std::vector<uint32_t> groups;
+    part->table.GroupIndices(keys, n, &groups);
+    for (size_t a = 0; a < plan_.aggs.size(); ++a) {
+      part->table.UpdateColumn(a, groups,
+                               plan_.aggs[a].arg ? &args[a] : nullptr, n);
     }
     uint64_t need = part->table.ApproxBytes();
     uint64_t held = part->reservation.held();

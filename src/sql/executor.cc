@@ -1,12 +1,13 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <unordered_map>
 
 #include "common/strings.h"
-#include "sql/spill.h"
+#include "sql/hash_kernels.h"
+#include "sql/join_hash_table.h"
 
 namespace qy::sql {
 
@@ -128,17 +129,16 @@ class ScanNode : public ExecNode {
 /// Append the rows of `src` selected by `mask` (bool column) to `dst`.
 void SelectRows(const DataChunk& src, const ColumnVector& mask,
                 DataChunk* dst) {
-  size_t n = src.NumRows();
   if (dst->columns.empty()) {
     for (const auto& col : src.columns) {
       dst->columns.emplace_back(col.type());
     }
   }
-  for (size_t i = 0; i < n; ++i) {
-    if (mask.IsNull(i) || mask.bool_data()[i] == 0) continue;
-    for (size_t c = 0; c < src.columns.size(); ++c) {
-      dst->columns[c].AppendFrom(src.columns[c], i);
-    }
+  std::vector<uint32_t> sel;
+  MaskToSelection(mask, &sel);
+  if (sel.empty()) return;
+  for (size_t c = 0; c < src.columns.size(); ++c) {
+    dst->columns[c].AppendGather(src.columns[c], sel.data(), sel.size());
   }
 }
 
@@ -269,11 +269,9 @@ class LimitNode : public ExecNode {
       for (const auto& col : out->columns) {
         truncated.columns.emplace_back(col.type());
       }
-      for (int64_t i = 0; i < remaining_; ++i) {
-        for (size_t c = 0; c < out->columns.size(); ++c) {
-          truncated.columns[c].AppendFrom(out->columns[c],
-                                          static_cast<size_t>(i));
-        }
+      for (size_t c = 0; c < out->columns.size(); ++c) {
+        truncated.columns[c].AppendRange(out->columns[c], 0,
+                                         static_cast<size_t>(remaining_));
       }
       *out = std::move(truncated);
       remaining_ = 0;
@@ -317,9 +315,7 @@ class SortNode : public ExecNode {
       }
       QY_RETURN_IF_ERROR(reservation_.Reserve(in.ApproxBytes()));
       for (size_t c = 0; c < in.columns.size(); ++c) {
-        for (size_t r = 0; r < in.NumRows(); ++r) {
-          all.columns[c].AppendFrom(in.columns[c], r);
-        }
+        all.columns[c].AppendRange(in.columns[c], 0, in.NumRows());
       }
     }
     size_t n = all.NumRows();
@@ -357,14 +353,10 @@ class SortNode : public ExecNode {
     }
     *done = false;
     size_t count = std::min(ctx_->chunk_size, n - cursor_);
-    for (const auto& col : sorted_.columns) {
-      out->columns.emplace_back(col.type());
-    }
-    for (size_t i = 0; i < count; ++i) {
-      uint32_t src = order_[cursor_ + i];
-      for (size_t c = 0; c < sorted_.columns.size(); ++c) {
-        out->columns[c].AppendFrom(sorted_.columns[c], src);
-      }
+    for (size_t c = 0; c < sorted_.columns.size(); ++c) {
+      out->columns.emplace_back(sorted_.columns[c].type());
+      out->columns[c].AppendGather(sorted_.columns[c], order_.data() + cursor_,
+                                   count);
     }
     cursor_ += count;
     stats_.rows_out += count;
@@ -386,27 +378,26 @@ class SortNode : public ExecNode {
 // Hash join (equi) / cross product
 // ---------------------------------------------------------------------------
 
-/// 128-bit hash key for the single-integer-key fast path. Rows with NULL
-/// keys are dropped on both the build and the probe side *before* an IntKey
-/// is ever constructed (SQL equi-join semantics: NULL = NULL is not true),
-/// so equality here is plain value equality — there is deliberately no null
-/// flag that could make two NULL keys compare equal.
-struct IntKey {
-  int128_t v;
-  bool operator==(const IntKey& o) const { return v == o.v; }
-};
-struct IntKeyHash {
-  size_t operator()(const IntKey& k) const {
-    return HashUInt128(static_cast<uint128_t>(k.v));
-  }
-};
-
+/// Equi-join over a flat open-addressing row table (join_hash_table.h).
+///
+/// Two key layouts: a single integer key (BIGINT/HUGEINT, the Qymera gate
+/// join) is normalized to int128 so mixed widths compare equal; any other key
+/// shape goes through the canonical binary encoding of hash_kernels.h and
+/// compares by memcmp. Rows with NULL keys are dropped on both the build and
+/// the probe side before they ever reach the table (SQL equi-join semantics:
+/// NULL = NULL is not true), so key equality needs no null handling.
 class HashJoinNode : public ExecNode {
  public:
   HashJoinNode(const PlanNode& plan, std::unique_ptr<ExecNode> left,
                std::unique_ptr<ExecNode> right, ExecContext* ctx)
       : plan_(plan), left_(std::move(left)), right_(std::move(right)),
         ctx_(ctx), reservation_(ctx->tracker), stats_("HashJoin", ctx) {}
+
+  ~HashJoinNode() override {
+    if (ctx_->profile != nullptr && probe_rows_.load() > 0) {
+      ctx_->profile->Record("HashJoinProbe", probe_rows_.load(), 0.0);
+    }
+  }
 
   Status Init() override {
     ScopedTimer timer(&stats_.seconds);
@@ -443,9 +434,7 @@ class HashJoinNode : public ExecNode {
             "small");
       }
       for (size_t c = 0; c < in.columns.size(); ++c) {
-        for (size_t r = 0; r < in.NumRows(); ++r) {
-          build_.columns[c].AppendFrom(in.columns[c], r);
-        }
+        build_.columns[c].AppendRange(in.columns[c], 0, in.NumRows());
       }
     }
     if (build_.columns.empty()) {
@@ -454,32 +443,48 @@ class HashJoinNode : public ExecNode {
       }
     }
     size_t n = build_.NumRows();
-    if (!plan_.right_keys.empty() && n > 0) {
+    if (!plan_.right_keys.empty()) {
       use_fast_key_ = plan_.right_keys.size() == 1 &&
                       IsInteger(plan_.right_keys[0]->type);
+      // Reset even for an empty build side: probing consults the slot
+      // arrays, which must exist (at minimum capacity) to report no match.
+      table_.Reset(n);
+    }
+    if (!plan_.right_keys.empty() && n > 0) {
       std::vector<ColumnVector> keys(plan_.right_keys.size());
       for (size_t k = 0; k < plan_.right_keys.size(); ++k) {
         QY_RETURN_IF_ERROR(plan_.right_keys[k]->Evaluate(build_, &keys[k]));
       }
       if (use_fast_key_) {
-        fast_table_.reserve(n * 2);
         const ColumnVector& kc = keys[0];
+        NormalizeIntKeyColumn(kc, &build_int_keys_);
+        std::vector<uint64_t> hashes;
+        HashIntKeyColumn(kc, build_int_keys_, &hashes);
         for (size_t r = 0; r < n; ++r) {
           if (kc.IsNull(r)) continue;  // NULL keys never match
-          IntKey key{kc.type() == DataType::kBigInt
-                         ? static_cast<int128_t>(kc.i64_data()[r])
-                         : kc.i128_data()[r]};
-          fast_table_[key].push_back(static_cast<uint32_t>(r));
+          int128_t key = build_int_keys_[r];
+          table_.Insert(hashes[r], static_cast<uint32_t>(r),
+                        [&](uint32_t head) {
+                          return build_int_keys_[head] == key;
+                        });
         }
       } else {
-        generic_table_.reserve(n * 2);
+        EncodeKeyRows(keys, n, &build_enc_);
+        std::vector<uint64_t> hashes;
+        HashEncodedRows(build_enc_, &hashes);
         for (size_t r = 0; r < n; ++r) {
           if (AnyKeyNull(keys, r)) continue;  // NULL keys never match
-          std::string key;
-          for (const auto& kc : keys) SerializeValue(kc, r, &key);
-          generic_table_[key].push_back(static_cast<uint32_t>(r));
+          const char* key = build_enc_.RowPtr(r);
+          size_t len = build_enc_.RowLen(r);
+          table_.Insert(hashes[r], static_cast<uint32_t>(r),
+                        [&](uint32_t head) {
+                          return build_enc_.RowEquals(head, key, len);
+                        });
         }
       }
+    }
+    if (ctx_->profile != nullptr) {
+      ctx_->profile->Record("HashJoinBuild", n, 0.0);
     }
     // Morsel-driven parallel probe: enabled for equi-joins when a pool is
     // available. When the probe child is a bare table scan the workers pull
@@ -624,6 +629,11 @@ class HashJoinNode : public ExecNode {
     return group.Wait();
   }
 
+  /// Match a probe chunk against the build table into parallel selection
+  /// vectors (probe row index, build row index), in probe-row order with each
+  /// probe row's matches in build insertion order, then gather every output
+  /// column in bulk. Thread-safe: all scratch is local, the table and key
+  /// stores are immutable after Init().
   Status ProbeChunk(const DataChunk& probe, DataChunk* out) const {
     size_t left_cols = probe.columns.size();
     size_t right_cols = build_.columns.size();
@@ -634,48 +644,72 @@ class HashJoinNode : public ExecNode {
     for (const auto& col : build_.columns) {
       out->columns.emplace_back(col.type());
     }
-    auto emit = [&](size_t probe_row, uint32_t build_row) {
-      for (size_t c = 0; c < left_cols; ++c) {
-        out->columns[c].AppendFrom(probe.columns[c], probe_row);
-      }
-      for (size_t c = 0; c < right_cols; ++c) {
-        out->columns[left_cols + c].AppendFrom(build_.columns[c], build_row);
-      }
-    };
     size_t n = probe.NumRows();
+    std::vector<uint32_t> probe_sel;
+    std::vector<uint32_t> build_sel;
     if (plan_.right_keys.empty()) {
       // Cross product.
+      size_t build_rows = build_.NumRows();
+      probe_sel.reserve(n * build_rows);
+      build_sel.reserve(n * build_rows);
       for (size_t r = 0; r < n; ++r) {
-        for (uint32_t b = 0; b < build_.NumRows(); ++b) emit(r, b);
-      }
-      return Status::OK();
-    }
-    std::vector<ColumnVector> keys(plan_.left_keys.size());
-    for (size_t k = 0; k < plan_.left_keys.size(); ++k) {
-      QY_RETURN_IF_ERROR(plan_.left_keys[k]->Evaluate(probe, &keys[k]));
-    }
-    if (use_fast_key_) {
-      const ColumnVector& kc = keys[0];
-      // The probe key may bind as BIGINT while build is HUGEINT (or vice
-      // versa); IntKey normalizes to int128 so mixed widths compare equal.
-      for (size_t r = 0; r < n; ++r) {
-        if (kc.IsNull(r)) continue;  // NULL keys never match
-        IntKey key{kc.type() == DataType::kBigInt
-                       ? static_cast<int128_t>(kc.i64_data()[r])
-                       : kc.i128_data()[r]};
-        auto it = fast_table_.find(key);
-        if (it == fast_table_.end()) continue;
-        for (uint32_t b : it->second) emit(r, b);
+        for (uint32_t b = 0; b < build_rows; ++b) {
+          probe_sel.push_back(static_cast<uint32_t>(r));
+          build_sel.push_back(b);
+        }
       }
     } else {
-      for (size_t r = 0; r < n; ++r) {
-        if (AnyKeyNull(keys, r)) continue;  // NULL keys never match
-        std::string key;
-        for (const auto& kc : keys) SerializeValue(kc, r, &key);
-        auto it = generic_table_.find(key);
-        if (it == generic_table_.end()) continue;
-        for (uint32_t b : it->second) emit(r, b);
+      std::vector<ColumnVector> keys(plan_.left_keys.size());
+      for (size_t k = 0; k < plan_.left_keys.size(); ++k) {
+        QY_RETURN_IF_ERROR(plan_.left_keys[k]->Evaluate(probe, &keys[k]));
       }
+      auto match = [&](size_t r, uint32_t b) {
+        probe_sel.push_back(static_cast<uint32_t>(r));
+        build_sel.push_back(b);
+      };
+      if (use_fast_key_) {
+        const ColumnVector& kc = keys[0];
+        // The probe key may bind as BIGINT while build is HUGEINT (or vice
+        // versa); normalizing to int128 makes mixed widths compare equal.
+        std::vector<int128_t> values;
+        NormalizeIntKeyColumn(kc, &values);
+        std::vector<uint64_t> hashes;
+        HashIntKeyColumn(kc, values, &hashes);
+        for (size_t r = 0; r < n; ++r) {
+          if (kc.IsNull(r)) continue;  // NULL keys never match
+          int128_t key = values[r];
+          table_.ForEachMatch(
+              hashes[r],
+              [&](uint32_t head) { return build_int_keys_[head] == key; },
+              [&](uint32_t b) { match(r, b); });
+        }
+      } else {
+        EncodedKeyRows enc;
+        EncodeKeyRows(keys, n, &enc);
+        std::vector<uint64_t> hashes;
+        HashEncodedRows(enc, &hashes);
+        for (size_t r = 0; r < n; ++r) {
+          if (AnyKeyNull(keys, r)) continue;  // NULL keys never match
+          const char* key = enc.RowPtr(r);
+          size_t len = enc.RowLen(r);
+          table_.ForEachMatch(
+              hashes[r],
+              [&](uint32_t head) {
+                return build_enc_.RowEquals(head, key, len);
+              },
+              [&](uint32_t b) { match(r, b); });
+        }
+      }
+    }
+    probe_rows_ += n;
+    if (probe_sel.empty()) return Status::OK();
+    for (size_t c = 0; c < left_cols; ++c) {
+      out->columns[c].AppendGather(probe.columns[c], probe_sel.data(),
+                                   probe_sel.size());
+    }
+    for (size_t c = 0; c < right_cols; ++c) {
+      out->columns[left_cols + c].AppendGather(
+          build_.columns[c], build_sel.data(), build_sel.size());
     }
     return Status::OK();
   }
@@ -687,8 +721,10 @@ class HashJoinNode : public ExecNode {
   NodeStats stats_;
   DataChunk build_;
   bool use_fast_key_ = false;
-  std::unordered_map<IntKey, std::vector<uint32_t>, IntKeyHash> fast_table_;
-  std::unordered_map<std::string, std::vector<uint32_t>> generic_table_;
+  JoinRowTable table_;
+  std::vector<int128_t> build_int_keys_;  ///< fast path: key of each build row
+  EncodedKeyRows build_enc_;              ///< generic path: encoded key rows
+  mutable std::atomic<uint64_t> probe_rows_{0};
   // Parallel probe state.
   bool parallel_ = false;
   const Table* scan_source_ = nullptr;  ///< morsel source when probe is a scan

@@ -242,6 +242,17 @@ bool IsArith(OpCode op) {
          op == OpCode::kDiv || op == OpCode::kMod;
 }
 
+/// Borrow `src` as `target` type: when the type already matches, the column
+/// is used in place (the promotion paths below used to deep-copy both
+/// operands even when no cast was needed); otherwise the cast materializes
+/// into `*storage` and that is returned.
+Result<const ColumnVector*> BorrowAs(const ColumnVector& src, DataType target,
+                                     ColumnVector* storage) {
+  if (src.type() == target) return &src;
+  QY_ASSIGN_OR_RETURN(*storage, src.CastTo(target));
+  return storage;
+}
+
 }  // namespace
 
 Status BoundExpr::Evaluate(const DataChunk& input, ColumnVector* out) const {
@@ -441,24 +452,36 @@ Status BoundExpr::EvaluateBinaryOp(OpCode opcode, const ColumnVector& l,
     }
     QY_ASSIGN_OR_RETURN(DataType common, CommonNumericType(l.type(), r.type()));
     if (common == DataType::kBool) common = DataType::kBigInt;
-    QY_ASSIGN_OR_RETURN(ColumnVector a, l.CastTo(common));
-    QY_ASSIGN_OR_RETURN(ColumnVector b, r.CastTo(common));
+    ColumnVector la, rb;
+    QY_ASSIGN_OR_RETURN(const ColumnVector* a, BorrowAs(l, common, &la));
+    QY_ASSIGN_OR_RETURN(const ColumnVector* b, BorrowAs(r, common, &rb));
     switch (common) {
-      case DataType::kBigInt: return CompareKernel<int64_t>(opcode, a, b, out);
-      case DataType::kHugeInt: return CompareKernel<int128_t>(opcode, a, b, out);
-      case DataType::kDouble: return CompareKernel<double>(opcode, a, b, out);
+      case DataType::kBigInt:
+        return CompareKernel<int64_t>(opcode, *a, *b, out);
+      case DataType::kHugeInt:
+        return CompareKernel<int128_t>(opcode, *a, *b, out);
+      case DataType::kDouble:
+        return CompareKernel<double>(opcode, *a, *b, out);
       default: return Status::Internal("comparison promotion failed");
     }
   }
   if (IsBitwise(opcode)) {
-    QY_ASSIGN_OR_RETURN(ColumnVector a, l.CastTo(type));
-    QY_ASSIGN_OR_RETURN(ColumnVector b, r.CastTo(type));
-    if (type == DataType::kBigInt) return BitKernel<int64_t>(opcode, a, b, out);
-    return BitKernel<int128_t>(opcode, a, b, out);
+    ColumnVector la, rb;
+    QY_ASSIGN_OR_RETURN(const ColumnVector* a, BorrowAs(l, type, &la));
+    QY_ASSIGN_OR_RETURN(const ColumnVector* b, BorrowAs(r, type, &rb));
+    if (type == DataType::kBigInt) {
+      return BitKernel<int64_t>(opcode, *a, *b, out);
+    }
+    return BitKernel<int128_t>(opcode, *a, *b, out);
   }
   if (opcode == OpCode::kDiv) {
-    QY_ASSIGN_OR_RETURN(ColumnVector a, l.CastTo(DataType::kDouble));
-    QY_ASSIGN_OR_RETURN(ColumnVector b, r.CastTo(DataType::kDouble));
+    ColumnVector la, rb;
+    QY_ASSIGN_OR_RETURN(const ColumnVector* pa,
+                        BorrowAs(l, DataType::kDouble, &la));
+    QY_ASSIGN_OR_RETURN(const ColumnVector* pb,
+                        BorrowAs(r, DataType::kDouble, &rb));
+    const ColumnVector& a = *pa;
+    const ColumnVector& b = *pb;
     const auto& x = a.f64_data();
     const auto& y = b.f64_data();
     auto& dst = out->mutable_f64_data();
@@ -478,12 +501,14 @@ Status BoundExpr::EvaluateBinaryOp(OpCode opcode, const ColumnVector& l,
     return Status::OK();
   }
   if (IsArith(opcode)) {
-    QY_ASSIGN_OR_RETURN(ColumnVector a, l.CastTo(type));
-    QY_ASSIGN_OR_RETURN(ColumnVector b, r.CastTo(type));
+    ColumnVector la, rb;
+    QY_ASSIGN_OR_RETURN(const ColumnVector* a, BorrowAs(l, type, &la));
+    QY_ASSIGN_OR_RETURN(const ColumnVector* b, BorrowAs(r, type, &rb));
     switch (type) {
-      case DataType::kBigInt: return ArithKernel<int64_t>(opcode, a, b, out);
-      case DataType::kHugeInt: return ArithKernel<int128_t>(opcode, a, b, out);
-      case DataType::kDouble: return ArithKernel<double>(opcode, a, b, out);
+      case DataType::kBigInt: return ArithKernel<int64_t>(opcode, *a, *b, out);
+      case DataType::kHugeInt:
+        return ArithKernel<int128_t>(opcode, *a, *b, out);
+      case DataType::kDouble: return ArithKernel<double>(opcode, *a, *b, out);
       default: return Status::Internal("arith promotion failed");
     }
   }

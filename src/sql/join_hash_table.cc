@@ -1,0 +1,38 @@
+#include "sql/join_hash_table.h"
+
+namespace qy::sql {
+
+size_t FlatHashCapacityFor(size_t entries) {
+  size_t needed = entries + entries / 2 + 1;  // ~0.66 max load factor
+  size_t cap = 16;
+  while (cap < needed) cap <<= 1;
+  return cap;
+}
+
+void FlatKeyIndex::Grow(size_t new_capacity) {
+  std::vector<uint8_t> old_tags = std::move(tags_);
+  std::vector<uint64_t> old_hashes = std::move(hashes_);
+  std::vector<uint32_t> old_ids = std::move(ids_);
+  Rebuild(new_capacity);
+  const size_t mask = new_capacity - 1;
+  for (size_t i = 0; i < old_tags.size(); ++i) {
+    if (old_tags[i] == 0) continue;
+    size_t j = static_cast<size_t>(old_hashes[i]) & mask;
+    while (tags_[j] != 0) j = (j + 1) & mask;
+    tags_[j] = old_tags[i];
+    hashes_[j] = old_hashes[i];
+    ids_[j] = old_ids[i];
+  }
+}
+
+void JoinRowTable::Reset(size_t num_rows) {
+  size_ = 0;
+  size_t cap = FlatHashCapacityFor(num_rows);
+  tags_.assign(cap, 0);
+  hashes_.assign(cap, 0);
+  heads_.assign(cap, kFlatHashInvalid);
+  tails_.assign(cap, kFlatHashInvalid);
+  next_.assign(num_rows, kFlatHashInvalid);
+}
+
+}  // namespace qy::sql

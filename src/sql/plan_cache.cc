@@ -1,0 +1,82 @@
+#include "sql/plan_cache.h"
+
+namespace qy::sql {
+
+namespace {
+
+bool SchemasEqual(const Schema& a, const Schema& b) {
+  if (a.NumColumns() != b.NumColumns()) return false;
+  for (size_t i = 0; i < a.NumColumns(); ++i) {
+    if (a.column(i).type != b.column(i).type ||
+        a.column(i).name != b.column(i).name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool CollectScanDeps(PlanNode* plan, std::vector<ScanDep>* deps) {
+  if (plan->kind == PlanNode::Kind::kScan) {
+    // CTE temporaries and anonymous sinks have an empty name and cannot be
+    // re-resolved later.
+    if (plan->table == nullptr || plan->table->name().empty()) return false;
+    deps->push_back({plan, plan->table->name(), plan->table->schema()});
+  }
+  for (auto& child : plan->children) {
+    if (child && !CollectScanDeps(child.get(), deps)) return false;
+  }
+  return true;
+}
+
+const CachedPlan* PlanCache::Lookup(const std::string& sql,
+                                    const Catalog& catalog) {
+  if (capacity_ == 0) return nullptr;
+  auto it = index_.find(sql);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  // Validate every scan dependency against the live catalog and patch the
+  // plan's table pointers; a mismatch means DDL changed the world since the
+  // plan was bound, so the entry is dead.
+  for (ScanDep& dep : it->second->entry.deps) {
+    Result<Table*> table = catalog.GetTable(dep.table_name);
+    if (!table.ok() || !SchemasEqual((*table)->schema(), dep.schema)) {
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++stats_.invalidations;
+      ++stats_.misses;
+      return nullptr;
+    }
+    dep.node->table = *table;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return &it->second->entry;
+}
+
+void PlanCache::Insert(const std::string& sql, CachedPlan entry) {
+  if (capacity_ == 0) return;
+  auto it = index_.find(sql);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front({sql, std::move(entry)});
+  index_[sql] = lru_.begin();
+  ++stats_.inserts;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().sql);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void PlanCache::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace qy::sql

@@ -53,9 +53,9 @@ Status Table::AppendChunk(const DataChunk& chunk) {
     const ColumnVector& src = chunk.columns[c];
     if (src.type() != columns_[c].type()) {
       QY_ASSIGN_OR_RETURN(ColumnVector cast, src.CastTo(columns_[c].type()));
-      for (size_t r = 0; r < cast.size(); ++r) columns_[c].AppendFrom(cast, r);
+      columns_[c].AppendRange(cast, 0, cast.size());
     } else {
-      for (size_t r = 0; r < src.size(); ++r) columns_[c].AppendFrom(src, r);
+      columns_[c].AppendRange(src, 0, src.size());
     }
   }
   num_rows_ += chunk.NumRows();
@@ -64,10 +64,8 @@ Status Table::AppendChunk(const DataChunk& chunk) {
 
 void Table::ScanColumn(size_t col, uint64_t offset, uint64_t count,
                        ColumnVector* out) const {
-  const ColumnVector& src = columns_[col];
-  for (uint64_t r = offset; r < offset + count; ++r) {
-    out->AppendFrom(src, r);
-  }
+  out->AppendRange(columns_[col], static_cast<size_t>(offset),
+                   static_cast<size_t>(count));
 }
 
 }  // namespace qy::sql
