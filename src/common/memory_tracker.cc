@@ -27,6 +27,15 @@ Status MemoryTracker::Reserve(uint64_t bytes) {
   while (now > peak &&
          !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
   }
+  if (parent_ != nullptr) {
+    Status up = parent_->Reserve(bytes);
+    if (!up.ok()) {
+      // Roll back the local reservation (only — the parent never accepted
+      // it) so the failure leaves every level exactly where it was.
+      ReleaseLocal(bytes);
+      return up;
+    }
+  }
   return Status::OK();
 }
 
@@ -36,9 +45,15 @@ void MemoryTracker::ReserveUnchecked(uint64_t bytes) {
   while (now > peak &&
          !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
   }
+  if (parent_ != nullptr) parent_->ReserveUnchecked(bytes);
 }
 
 void MemoryTracker::Release(uint64_t bytes) {
+  ReleaseLocal(bytes);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+void MemoryTracker::ReleaseLocal(uint64_t bytes) {
   // Releasing more than is reserved is a caller bug (double release or a
   // reserve/release imbalance); with a plain fetch_sub it would wrap used_
   // to ~2^64 and every later Reserve would fail. Assert in debug builds and

@@ -21,27 +21,43 @@ namespace qy {
 
 /// Tracks current and peak reserved bytes against an optional budget.
 /// Thread-compatible (atomics); budget enforcement is advisory-cooperative.
+///
+/// Trackers nest: a tracker constructed with a `parent` forwards every
+/// reservation and release to it, so a process-wide tracker observes (and
+/// budgets) the sum of all per-session trackers while each session still
+/// enforces its own cap. A child reservation succeeds only if both the local
+/// and every ancestor budget admit it; on ancestor failure the local
+/// reservation is rolled back, leaving all levels unchanged. The query
+/// service builds its global admission budget out of exactly this shape:
+/// one parent tracker per process, one child per session.
 class MemoryTracker {
  public:
   static constexpr uint64_t kUnlimited =
       std::numeric_limits<uint64_t>::max();
 
-  explicit MemoryTracker(uint64_t budget_bytes = kUnlimited)
-      : budget_(budget_bytes) {}
+  explicit MemoryTracker(uint64_t budget_bytes = kUnlimited,
+                         MemoryTracker* parent = nullptr)
+      : budget_(budget_bytes), parent_(parent) {}
 
-  /// Reserve `bytes`; fails (without reserving) if it would exceed budget.
+  /// Reserve `bytes`; fails (without reserving, at any level) if it would
+  /// exceed this tracker's or any ancestor's budget.
   Status Reserve(uint64_t bytes);
 
   /// Reserve without budget check (used after a spill decision was made).
+  /// Still propagates to the parent so global accounting stays truthful.
   void ReserveUnchecked(uint64_t bytes);
 
-  /// Release previously reserved bytes.
+  /// Release previously reserved bytes (propagates to the parent).
   void Release(uint64_t bytes);
 
-  /// Would reserving `bytes` exceed the budget?
+  /// Would reserving `bytes` exceed this tracker's or an ancestor's budget?
   bool WouldExceed(uint64_t bytes) const {
     uint64_t b = budget_.load(std::memory_order_relaxed);
-    return b != kUnlimited && used_.load(std::memory_order_relaxed) + bytes > b;
+    if (b != kUnlimited &&
+        used_.load(std::memory_order_relaxed) + bytes > b) {
+      return true;
+    }
+    return parent_ != nullptr && parent_->WouldExceed(bytes);
   }
 
   uint64_t used() const { return used_.load(std::memory_order_relaxed); }
@@ -50,13 +66,20 @@ class MemoryTracker {
 
   void set_budget(uint64_t bytes) { budget_.store(bytes); }
 
-  /// Reset usage/peak counters (budget is kept).
+  MemoryTracker* parent() const { return parent_; }
+
+  /// Reset usage/peak counters (budget is kept; the parent is untouched —
+  /// only meaningful when nothing is currently reserved).
   void Reset();
 
  private:
+  /// Decrement this level only (rollback after an ancestor rejected).
+  void ReleaseLocal(uint64_t bytes);
+
   std::atomic<uint64_t> budget_;
   std::atomic<uint64_t> used_{0};
   std::atomic<uint64_t> peak_{0};
+  MemoryTracker* parent_ = nullptr;  ///< not owned; outlives this tracker
 };
 
 /// RAII reservation: releases on destruction what was reserved.

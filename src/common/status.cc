@@ -28,10 +28,22 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }
   return "Unknown";
+}
+
+bool IsRetryableCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kIoError:      // transient I/O blip (short write, EINTR)
+    case StatusCode::kUnavailable:  // overload / graceful shutdown
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string Status::ToString() const {

@@ -27,11 +27,21 @@ enum class StatusCode {
   kCancelled,         ///< query cancelled by the caller (Cancel()/SIGINT)
   kDeadlineExceeded,  ///< query deadline / --timeout-ms expired
   kDataLoss,          ///< on-disk data corrupted (bad checksum, torn write)
+  kUnavailable,       ///< service overloaded or shutting down; retry later
   kInternal,          ///< invariant violation (bug)
 };
 
 /// Human-readable name of a StatusCode ("InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// True for transient conditions a caller may retry verbatim and expect to
+/// succeed: flaky I/O (kIoError) and an overloaded / draining service
+/// (kUnavailable). Everything else — bad input, missing objects, exceeded
+/// budgets, corruption, bugs — is terminal: retrying the identical request
+/// cannot help. This single classification backs both the bounded retry
+/// loops around temp-file I/O and the `retryable` bit in the query service's
+/// protocol error responses.
+bool IsRetryableCode(StatusCode code);
 
 /// A success-or-error value. Cheap to copy on success (no allocation).
 class Status {
@@ -74,12 +84,17 @@ class Status {
   static Status DataLoss(std::string m) {
     return Status(StatusCode::kDataLoss, std::move(m));
   }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
+  /// See IsRetryableCode().
+  bool IsRetryable() const { return IsRetryableCode(code_); }
   const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".

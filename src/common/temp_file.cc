@@ -39,10 +39,6 @@ Status InjectedFault(const char* site) {
 #endif
 }
 
-/// True when the error is a transient I/O blip worth retrying; injected
-/// non-I/O codes (OOM, cancel) and real permission-style failures propagate.
-bool Retryable(const Status& s) { return s.code() == StatusCode::kIoError; }
-
 }  // namespace
 
 TempFile::~TempFile() {
@@ -75,7 +71,9 @@ Status TempFile::WriteBytes(const void* data, size_t n) {
   for (int attempt = 1; attempt <= kIoAttempts; ++attempt) {
     if (attempt > 1) BackoffSleep(attempt - 1);
     last = WriteOnce(data, n);
-    if (last.ok() || !Retryable(last)) return last;
+    // The shared Status taxonomy decides retry-worthiness: injected non-I/O
+    // codes (OOM, cancel) and permission-style failures propagate unretried.
+    if (last.ok() || !last.IsRetryable()) return last;
   }
   return last;
 }
@@ -198,7 +196,7 @@ Result<std::unique_ptr<TempFile>> TempFileManager::Create(
       last = Status::IoError("cannot create temp file " + path + ": " +
                              std::strerror(errno));
     }
-    if (!Retryable(last)) return last;
+    if (!last.IsRetryable()) return last;
   }
   return last;
 }

@@ -207,7 +207,31 @@ sql::DatabaseOptions QymeraSimulator::MakeDbOptions() const {
   dopts.chunk_size = qopts_.chunk_size;
   dopts.num_threads = qopts_.num_threads;
   dopts.query = options_.query;
+  dopts.external_pool = qopts_.external_pool;
+  dopts.parent_tracker = qopts_.parent_tracker;
   return dopts;
+}
+
+JsonValue RunSummaryToJson(const RunSummary& summary) {
+  JsonValue obj{JsonValue::Object{}};
+  obj.Set("final_rows", static_cast<int64_t>(summary.final_rows));
+  obj.Set("norm_squared", summary.norm_squared);
+  obj.Set("max_intermediate_rows",
+          static_cast<int64_t>(summary.max_intermediate_rows));
+  obj.Set("rows_spilled", static_cast<int64_t>(summary.rows_spilled));
+  JsonValue plan_cache{JsonValue::Object{}};
+  plan_cache.Set("hits", static_cast<int64_t>(summary.plan_cache_hits));
+  plan_cache.Set("misses", static_cast<int64_t>(summary.plan_cache_misses));
+  obj.Set("plan_cache", std::move(plan_cache));
+  JsonValue metrics{JsonValue::Object{}};
+  metrics.Set("wall_seconds", summary.metrics.wall_seconds);
+  metrics.Set("peak_bytes", static_cast<int64_t>(summary.metrics.peak_bytes));
+  metrics.Set(summary.metrics.backend_stat_name.empty()
+                  ? "backend_stat"
+                  : summary.metrics.backend_stat_name,
+              static_cast<int64_t>(summary.metrics.backend_stat));
+  obj.Set("metrics", std::move(metrics));
+  return obj;
 }
 
 Result<RunSummary> QymeraSimulator::Execute(const qc::QuantumCircuit& circuit) {
@@ -218,6 +242,7 @@ Result<RunSummary> QymeraSimulator::Execute(const qc::QuantumCircuit& circuit) {
                       ExecuteInternal(circuit, &db, &final_table, &n));
   summary.operator_profile = db.profile().ToString() + PlanCacheLine(db);
   metrics_ = summary.metrics;
+  last_summary_ = summary;
   return summary;
 }
 
@@ -233,6 +258,7 @@ Result<sim::SparseState> QymeraSimulator::Run(
       ReadStateTable(&db, final_table, n, options_.prune_epsilon));
   metrics_ = summary.metrics;
   last_operator_profile_ = db.profile().ToString() + PlanCacheLine(db);
+  last_summary_ = summary;
   return state;
 }
 

@@ -8,6 +8,8 @@
 #include <memory>
 #include <string>
 
+#include "common/json.h"
+#include "common/thread_pool.h"
 #include "core/fusion.h"
 #include "core/translator.h"
 #include "sim/simulator.h"
@@ -47,6 +49,15 @@ struct QymeraOptions {
   /// 0 = hardware concurrency (the default), 1 = fully serial execution
   /// (byte-identical to the pre-parallel engine).
   size_t num_threads = 0;
+
+  /// Borrow an externally owned worker pool for the internal database
+  /// instead of spawning one per run (the query service shares one pool
+  /// across all sessions). Not owned; must outlive the simulator run.
+  /// With external_pool set, num_threads == 0 follows the pool's width.
+  qy::ThreadPool* external_pool = nullptr;
+  /// Nest the run's memory tracker under a process-wide parent budget
+  /// (see MemoryTracker). Not owned; must outlive the simulator run.
+  qy::MemoryTracker* parent_tracker = nullptr;
 };
 
 /// Row-count/norm summary of a run that avoids materializing the state in
@@ -66,6 +77,12 @@ struct RunSummary {
   std::string operator_profile;
   sim::SimMetrics metrics;
 };
+
+/// Machine-readable rendering of a RunSummary (counters, metrics and the
+/// plan-cache numbers) for the CLI's --stats-json and the query service's
+/// simulate responses. The operator_profile text is omitted — it is the
+/// human rendering the JSON form exists to replace.
+JsonValue RunSummaryToJson(const RunSummary& summary);
 
 /// Called after each materialized step with the intermediate state
 /// (education scenario: inspect |psi>_k evolving). Only fires in
@@ -100,6 +117,11 @@ class QymeraSimulator : public sim::Simulator {
     return last_operator_profile_;
   }
 
+  /// Counters of the most recent successful Run()/Execute() (zeroed before
+  /// any run). Backs --stats-json without forcing callers through
+  /// Execute().
+  const RunSummary& last_summary() const { return last_summary_; }
+
  private:
   sql::DatabaseOptions MakeDbOptions() const;
   Result<RunSummary> ExecuteInternal(const qc::QuantumCircuit& circuit,
@@ -110,6 +132,7 @@ class QymeraSimulator : public sim::Simulator {
   QymeraOptions qopts_;
   StepCallback step_callback_;
   std::string last_operator_profile_;
+  RunSummary last_summary_;
 };
 
 }  // namespace qy::core

@@ -1,0 +1,140 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+namespace qy::service {
+
+namespace {
+
+/// Queued waiters poll their QueryContext at this granularity: fine enough
+/// that a cancelled/expired request leaves the queue promptly, coarse
+/// enough to cost nothing while parked.
+constexpr std::chrono::milliseconds kWaitSlice{5};
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+AdmissionController::~AdmissionController() { Close(); }
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release(bytes_);
+    controller_ = nullptr;
+  }
+}
+
+bool AdmissionController::FitsLocked(uint64_t bytes) const {
+  if (active_ >= options_.max_concurrent_queries) return false;
+  if (options_.memory_budget_bytes != MemoryTracker::kUnlimited &&
+      used_bytes_ + bytes > options_.memory_budget_bytes) {
+    return false;
+  }
+  return true;
+}
+
+void AdmissionController::GrantWaitersLocked() {
+  // Strict FIFO: only the head may be granted, so a small query can never
+  // starve a large one that queued first (head-of-line blocking on the
+  // memory dimension is the price of fairness).
+  while (!queue_.empty() && FitsLocked(queue_.front()->bytes)) {
+    Waiter* head = queue_.front();
+    queue_.pop_front();
+    head->granted = true;
+    ++active_;
+    used_bytes_ += head->bytes;
+  }
+  cv_.notify_all();
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    uint64_t declared_bytes, const QueryContext* query) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) {
+    ++stats_.rejected;
+    return Status::Unavailable("service is shutting down");
+  }
+  if (options_.memory_budget_bytes != MemoryTracker::kUnlimited &&
+      declared_bytes > options_.memory_budget_bytes) {
+    ++stats_.rejected;
+    return Status::OutOfMemory(
+        "declared query cost " + std::to_string(declared_bytes) +
+        " exceeds the admission memory budget " +
+        std::to_string(options_.memory_budget_bytes) + " and can never run");
+  }
+  if (queue_.empty() && FitsLocked(declared_bytes)) {
+    ++active_;
+    used_bytes_ += declared_bytes;
+    ++stats_.admitted;
+    return Ticket(this, declared_bytes);
+  }
+  if (queue_.size() >= options_.max_queue_depth) {
+    ++stats_.rejected;
+    return Status::Unavailable(
+        "admission queue full (" + std::to_string(queue_.size()) +
+        " waiting, " + std::to_string(active_) + " running); retry later");
+  }
+
+  Waiter waiter;
+  waiter.bytes = declared_bytes;
+  queue_.push_back(&waiter);
+  ++stats_.queued;
+  while (!waiter.granted) {
+    if (closed_) {
+      queue_.remove(&waiter);
+      ++stats_.rejected;
+      return Status::Unavailable("service is shutting down");
+    }
+    if (query != nullptr) {
+      Status interrupted = query->Check();
+      if (!interrupted.ok()) {
+        queue_.remove(&waiter);
+        ++stats_.timed_out;
+        // Our departure may unblock the new FIFO head.
+        GrantWaitersLocked();
+        return interrupted;
+      }
+    }
+    cv_.wait_for(lock, kWaitSlice);
+  }
+  ++stats_.admitted;
+  return Ticket(this, declared_bytes);
+}
+
+void AdmissionController::Release(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_;
+  used_bytes_ -= std::min(used_bytes_, bytes);
+  GrantWaitersLocked();
+}
+
+void AdmissionController::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool AdmissionController::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t AdmissionController::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace qy::service

@@ -1,0 +1,128 @@
+/// \file admission.h
+/// Global admission control for the concurrent query service.
+///
+/// Every query, from every session, passes through one AdmissionController
+/// before touching the engine. The controller enforces two process-wide
+/// budgets — concurrent-query slots and declared memory cost — and converts
+/// overload into *queueing* instead of failure: a request that does not fit
+/// waits in strict FIFO order until running queries release their tickets.
+/// Waiting is bounded three ways:
+///   - per-request deadline / cancellation (the caller's QueryContext is
+///     polled while queued; expiry returns kDeadlineExceeded / kCancelled),
+///   - a backpressure cap on queue depth (overflow rejects immediately with
+///     kUnavailable — retryable, the client should back off and retry),
+///   - service shutdown (Close() drains the queue with kUnavailable).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+
+#include "common/cancellation.h"
+#include "common/memory_tracker.h"
+#include "common/status.h"
+
+namespace qy::service {
+
+struct AdmissionOptions {
+  /// Queries allowed to execute simultaneously across all sessions.
+  size_t max_concurrent_queries = 4;
+  /// Sum of the declared memory costs of all admitted queries must stay
+  /// within this budget (kUnlimited disables the memory dimension). A
+  /// session declares its own memory budget as its queries' cost, so this
+  /// caps the worst-case global working set.
+  uint64_t memory_budget_bytes = MemoryTracker::kUnlimited;
+  /// Requests allowed to wait; one more is rejected with kUnavailable.
+  size_t max_queue_depth = 64;
+};
+
+struct AdmissionStats {
+  uint64_t admitted = 0;   ///< tickets granted (immediately or after a wait)
+  uint64_t queued = 0;     ///< requests that had to wait at least once
+  uint64_t rejected = 0;   ///< kUnavailable: queue overflow or shutdown
+  uint64_t timed_out = 0;  ///< deadline expired / cancelled while queued
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+  ~AdmissionController();
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII admission grant: releasing it (destruction) frees the slot and
+  /// declared bytes and wakes the FIFO head. Move-only.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      Release();
+      controller_ = other.controller_;
+      bytes_ = other.bytes_;
+      other.controller_ = nullptr;
+      return *this;
+    }
+    ~Ticket() { Release(); }
+
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    bool valid() const { return controller_ != nullptr; }
+    /// Free the slot early (idempotent).
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, uint64_t bytes)
+        : controller_(controller), bytes_(bytes) {}
+
+    AdmissionController* controller_ = nullptr;
+    uint64_t bytes_ = 0;
+  };
+
+  /// Block until a slot and `declared_bytes` of budget are available (FIFO),
+  /// then return the ticket. `query` (optional) bounds the wait: its
+  /// deadline / cancellation is polled while queued. A declared cost larger
+  /// than the whole budget is terminal (kOutOfMemory) — it could never be
+  /// admitted.
+  Result<Ticket> Admit(uint64_t declared_bytes,
+                       const QueryContext* query = nullptr);
+
+  /// Stop admitting: current waiters and all future Admit() calls get
+  /// kUnavailable. Already-granted tickets stay valid (in-flight queries
+  /// drain normally).
+  void Close();
+
+  bool closed() const;
+  AdmissionStats stats() const;
+  /// Currently executing (granted, unreleased) queries.
+  size_t active() const;
+  /// Currently waiting requests.
+  size_t queue_depth() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct Waiter {
+    uint64_t bytes = 0;
+    bool granted = false;
+  };
+
+  /// Grant the FIFO head(s) that now fit. Caller holds mu_.
+  void GrantWaitersLocked();
+  bool FitsLocked(uint64_t bytes) const;
+  void Release(uint64_t bytes);
+
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::list<Waiter*> queue_;
+  size_t active_ = 0;
+  uint64_t used_bytes_ = 0;
+  bool closed_ = false;
+  AdmissionStats stats_;
+};
+
+}  // namespace qy::service

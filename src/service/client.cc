@@ -1,0 +1,76 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qy::service {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<Client> Client::ConnectTcp(const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string& ip = host.empty() ? std::string("127.0.0.1") : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: '" + ip + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status failed = Errno("connect(" + ip + ":" + std::to_string(port) + ")");
+    ::close(fd);
+    return failed;
+  }
+  return Client(fd);
+}
+
+Result<Client> Client::ConnectUnix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long");
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status failed = Errno("connect(" + path + ")");
+    ::close(fd);
+    return failed;
+  }
+  return Client(fd);
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Response> Client::Call(const Request& request) {
+  if (fd_ < 0) return Status::IoError("client is not connected");
+  QY_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(request)));
+  std::string payload;
+  QY_ASSIGN_OR_RETURN(bool got, ReadFrame(fd_, &payload));
+  if (!got) {
+    return Status::IoError("server closed the connection before responding");
+  }
+  return DecodeResponse(payload);
+}
+
+}  // namespace qy::service

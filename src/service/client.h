@@ -1,0 +1,47 @@
+/// \file client.h
+/// Minimal blocking client for the framed query-service protocol: connect,
+/// Call(request) -> response, close. One outstanding request per client
+/// (strict request/response); not thread-safe — use one Client per thread.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "service/protocol.h"
+
+namespace qy::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static Result<Client> ConnectTcp(const std::string& host, int port);
+  static Result<Client> ConnectUnix(const std::string& path);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Send one request and block for its response. A transport failure
+  /// (kIoError) poisons the connection — reconnect to retry.
+  Result<Response> Call(const Request& request);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace qy::service

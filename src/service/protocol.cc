@@ -1,0 +1,275 @@
+#include "service/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qy::service {
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t wrote = ::write(fd, data + off, n - off);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket write failed: ") +
+                             std::strerror(errno));
+    }
+    off += static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+/// Read exactly n bytes. got_any reports whether at least one byte arrived
+/// (distinguishes clean EOF from a truncated frame).
+Status ReadAll(int fd, char* data, size_t n, bool* got_any) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t got = ::read(fd, data + off, n - off);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("socket read failed: ") +
+                             std::strerror(errno));
+    }
+    if (got == 0) {
+      if (off == 0 && !*got_any) return Status::OK();  // clean EOF
+      return Status::IoError("connection closed mid-frame");
+    }
+    *got_any = true;
+    off += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+struct OpEntry {
+  Request::Op op;
+  const char* name;
+};
+
+constexpr OpEntry kOps[] = {
+    {Request::Op::kPing, "ping"},
+    {Request::Op::kOpenSession, "open_session"},
+    {Request::Op::kQuery, "query"},
+    {Request::Op::kSimulate, "simulate"},
+    {Request::Op::kStats, "stats"},
+    {Request::Op::kCloseSession, "close_session"},
+    {Request::Op::kShutdown, "shutdown"},
+};
+
+/// Every code EncodeResponse can emit; DecodeResponse inverts by name.
+constexpr StatusCode kAllCodes[] = {
+    StatusCode::kOk,           StatusCode::kInvalidArgument,
+    StatusCode::kParseError,   StatusCode::kBindError,
+    StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+    StatusCode::kOutOfMemory,  StatusCode::kUnsupported,
+    StatusCode::kIoError,      StatusCode::kCancelled,
+    StatusCode::kDeadlineExceeded, StatusCode::kDataLoss,
+    StatusCode::kUnavailable,  StatusCode::kInternal,
+};
+
+const JsonValue* FindField(const JsonValue& obj, const char* key) {
+  return obj.Find(key);
+}
+
+std::string StringField(const JsonValue& obj, const char* key) {
+  const JsonValue* v = FindField(obj, key);
+  return v != nullptr && v->is_string() ? v->AsString() : std::string();
+}
+
+int64_t IntField(const JsonValue& obj, const char* key) {
+  const JsonValue* v = FindField(obj, key);
+  return v != nullptr && v->is_number() ? v->AsInt() : 0;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFrameBytes) + " cap");
+  }
+  std::string header;
+  header.reserve(8);
+  PutU32(&header, kFrameMagic);
+  PutU32(&header, static_cast<uint32_t>(payload.size()));
+  QY_RETURN_IF_ERROR(WriteAll(fd, header.data(), header.size()));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<bool> ReadFrame(int fd, std::string* out, uint32_t max_bytes) {
+  char header[8];
+  bool got_any = false;
+  QY_RETURN_IF_ERROR(ReadAll(fd, header, sizeof(header), &got_any));
+  if (!got_any) return false;  // clean EOF between frames
+  uint32_t magic = GetU32(header);
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic (not a qymera peer?)");
+  }
+  uint32_t len = GetU32(header + 4);
+  if (len > max_bytes) {
+    return Status::InvalidArgument("frame of " + std::to_string(len) +
+                                   " bytes exceeds the " +
+                                   std::to_string(max_bytes) + " cap");
+  }
+  out->resize(len);
+  if (len > 0) {
+    QY_RETURN_IF_ERROR(ReadAll(fd, out->data(), len, &got_any));
+  }
+  return true;
+}
+
+const char* OpName(Request::Op op) {
+  for (const OpEntry& e : kOps) {
+    if (e.op == op) return e.name;
+  }
+  return "unknown";
+}
+
+std::string EncodeRequest(const Request& request) {
+  JsonValue obj{JsonValue::Object{}};
+  obj.Set("op", OpName(request.op));
+  if (!request.session.empty()) obj.Set("session", request.session);
+  if (!request.sql.empty()) obj.Set("sql", request.sql);
+  if (!request.circuit.empty()) obj.Set("circuit", request.circuit);
+  if (request.timeout_ms > 0) obj.Set("timeout_ms", request.timeout_ms);
+  if (request.session_budget_bytes > 0) {
+    obj.Set("session_budget_bytes",
+            static_cast<int64_t>(request.session_budget_bytes));
+  }
+  return obj.Dump();
+}
+
+Result<Request> DecodeRequest(const std::string& json_text) {
+  QY_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json_text));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  Request request;
+  std::string op = StringField(doc, "op");
+  bool found = false;
+  for (const OpEntry& e : kOps) {
+    if (op == e.name) {
+      request.op = e.op;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return Status::InvalidArgument("unknown request op '" + op + "'");
+  }
+  request.session = StringField(doc, "session");
+  request.sql = StringField(doc, "sql");
+  request.circuit = StringField(doc, "circuit");
+  request.timeout_ms = IntField(doc, "timeout_ms");
+  int64_t budget = IntField(doc, "session_budget_bytes");
+  request.session_budget_bytes =
+      budget > 0 ? static_cast<uint64_t>(budget) : 0;
+  if (request.op == Request::Op::kQuery && request.sql.empty()) {
+    return Status::InvalidArgument("query request carries no sql");
+  }
+  if (request.op == Request::Op::kSimulate && request.circuit.empty()) {
+    return Status::InvalidArgument("simulate request carries no circuit");
+  }
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  JsonValue obj{JsonValue::Object{}};
+  obj.Set("code", StatusCodeName(response.status.code()));
+  if (!response.status.ok()) {
+    obj.Set("message", response.status.message());
+    obj.Set("retryable", response.status.IsRetryable());
+  }
+  if (!response.columns.empty()) {
+    JsonValue::Array cols;
+    cols.reserve(response.columns.size());
+    for (const std::string& c : response.columns) cols.emplace_back(c);
+    obj.Set("columns", JsonValue(std::move(cols)));
+    JsonValue::Array rows;
+    rows.reserve(response.rows.size());
+    for (const auto& row : response.rows) {
+      JsonValue::Array cells;
+      cells.reserve(row.size());
+      for (const std::string& cell : row) cells.emplace_back(cell);
+      rows.emplace_back(std::move(cells));
+    }
+    obj.Set("rows", JsonValue(std::move(rows)));
+  }
+  if (response.rows_changed > 0) {
+    obj.Set("rows_changed", static_cast<int64_t>(response.rows_changed));
+  }
+  if (!response.stats.is_null()) obj.Set("stats", response.stats);
+  return obj.Dump();
+}
+
+Result<Response> DecodeResponse(const std::string& json_text) {
+  QY_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(json_text));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("response must be a JSON object");
+  }
+  Response response;
+  std::string code_name = StringField(doc, "code");
+  bool found = false;
+  for (StatusCode code : kAllCodes) {
+    if (code_name == StatusCodeName(code)) {
+      response.status = Status(code, StringField(doc, "message"));
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return Status::InvalidArgument("unknown status code '" + code_name +
+                                   "' in response");
+  }
+  const JsonValue* cols = doc.Find("columns");
+  if (cols != nullptr && cols->is_array()) {
+    for (const JsonValue& c : cols->AsArray()) {
+      if (!c.is_string()) {
+        return Status::InvalidArgument("response column name not a string");
+      }
+      response.columns.push_back(c.AsString());
+    }
+  }
+  const JsonValue* rows = doc.Find("rows");
+  if (rows != nullptr && rows->is_array()) {
+    for (const JsonValue& row : rows->AsArray()) {
+      if (!row.is_array()) {
+        return Status::InvalidArgument("response row not an array");
+      }
+      std::vector<std::string> cells;
+      cells.reserve(row.AsArray().size());
+      for (const JsonValue& cell : row.AsArray()) {
+        if (!cell.is_string()) {
+          return Status::InvalidArgument("response cell not a string");
+        }
+        cells.push_back(cell.AsString());
+      }
+      response.rows.push_back(std::move(cells));
+    }
+  }
+  int64_t changed = IntField(doc, "rows_changed");
+  response.rows_changed = changed > 0 ? static_cast<uint64_t>(changed) : 0;
+  const JsonValue* stats = doc.Find("stats");
+  if (stats != nullptr) response.stats = *stats;
+  return response;
+}
+
+}  // namespace qy::service

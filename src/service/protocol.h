@@ -1,0 +1,94 @@
+/// \file protocol.h
+/// Wire protocol of the query service: length-framed JSON request/response
+/// over a byte stream (TCP or UNIX socket).
+///
+/// Framing (all integers little-endian):
+///   [u32 magic "QYRP"] [u32 payload_len] [payload_len bytes of JSON]
+/// One request frame yields exactly one response frame; frames never
+/// interleave on a connection (the client is strictly request/response).
+/// Oversized or bad-magic frames poison the connection and it is closed.
+///
+/// Request object:
+///   {"op": "ping" | "open_session" | "query" | "simulate" | "stats" |
+///          "close_session" | "shutdown",
+///    "session": "name",            // optional; "" = "default"
+///    "sql": "SELECT ...",          // op=query
+///    "circuit": "{...}",           // op=simulate: circuit JSON (json_io.h)
+///    "timeout_ms": 500,            // optional per-request deadline
+///    "session_budget_bytes": N}    // optional, op=open_session
+///
+/// Response object:
+///   {"code": "OK" | StatusCodeName, "message": "...", "retryable": bool,
+///    "columns": ["s","r","i"],     // SELECT only
+///    "rows": [["0","0.7",...]],    // stringified values, SELECT only
+///    "rows_changed": N,
+///    "stats": {...}}               // op-specific (run summary / service)
+///
+/// The `retryable` bit is Status::IsRetryable() of the code: clients retry
+/// kUnavailable / kIoError with backoff and treat everything else as
+/// terminal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace qy::service {
+
+/// "QYRP" little-endian.
+constexpr uint32_t kFrameMagic = 0x50525951u;
+/// Hard cap on one frame's payload; larger requests/responses are a
+/// protocol error (kept well under any sane result size — the service
+/// truncates result rows before this matters).
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Append one frame to `fd`. Handles partial writes and EINTR.
+Status WriteFrame(int fd, const std::string& payload);
+
+/// Read one frame from `fd` into `out`. Returns false on clean EOF before
+/// any header byte (peer closed between requests); errors on truncation,
+/// bad magic, or an oversized length.
+Result<bool> ReadFrame(int fd, std::string* out,
+                       uint32_t max_bytes = kMaxFrameBytes);
+
+struct Request {
+  enum class Op {
+    kPing,
+    kOpenSession,
+    kQuery,
+    kSimulate,
+    kStats,
+    kCloseSession,
+    kShutdown,
+  };
+
+  Op op = Op::kPing;
+  std::string session;
+  std::string sql;          ///< op == kQuery
+  std::string circuit;      ///< op == kSimulate: circuit JSON text
+  int64_t timeout_ms = 0;   ///< 0 = no deadline
+  uint64_t session_budget_bytes = 0;  ///< 0 = service default (open_session)
+};
+
+struct Response {
+  Status status;
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+  uint64_t rows_changed = 0;
+  JsonValue stats;  ///< null unless the op produces one
+
+  bool ok() const { return status.ok(); }
+};
+
+const char* OpName(Request::Op op);
+
+std::string EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(const std::string& json_text);
+
+std::string EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(const std::string& json_text);
+
+}  // namespace qy::service

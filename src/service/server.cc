@@ -1,0 +1,148 @@
+#include "service/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "service/protocol.h"
+
+namespace qy::service {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(Service* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Listen() {
+  if (!options_.unix_path.empty()) {
+    if (options_.unix_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long");
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Errno("socket(AF_UNIX)");
+    // A stale path from a crashed predecessor would make bind fail.
+    ::unlink(options_.unix_path.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Errno("bind(" + options_.unix_path + ")");
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Errno("socket(AF_INET)");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Errno("bind(127.0.0.1:" + std::to_string(options_.port) + ")");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      return Errno("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) return Errno("listen");
+  return Status::OK();
+}
+
+Status Server::Start() {
+  if (listen_fd_ >= 0) return Status::AlreadyExists("server already started");
+  Status listening = Listen();
+  if (!listening.ok()) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return listening;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() closed the listener (EBADF/EINVAL) or the socket died.
+      return;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void Server::ServeConnection(int fd) {
+  connections_served_.fetch_add(1, std::memory_order_relaxed);
+  std::string payload;
+  for (;;) {
+    auto frame = ReadFrame(fd, &payload);
+    if (!frame.ok() || !frame.value()) break;  // error or clean EOF
+    Response response;
+    auto request = DecodeRequest(payload);
+    if (request.ok()) {
+      response = service_->Submit(request.value());
+    } else {
+      response.status = request.status();
+    }
+    if (!WriteFrame(fd, EncodeResponse(response)).ok()) break;
+  }
+  // The fd stays in conn_fds_ for Stop() to shut down; double-shutdown of a
+  // closed-here fd is avoided by closing exactly once, in Stop().
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // Unblock accept(); on Linux close() alone does not reliably wake it.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<int> fds;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    fds.swap(conn_fds_);
+    threads.swap(conn_threads_);
+  }
+  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);  // unblock blocked readers
+  for (auto& t : threads) t.join();
+  for (int fd : fds) ::close(fd);
+  listen_fd_ = -1;
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+}  // namespace qy::service

@@ -1,0 +1,79 @@
+/// \file server.h
+/// Line-protocol socket front-end of the query service.
+///
+/// Listens on loopback TCP or a UNIX-domain socket and speaks the framed
+/// JSON protocol of protocol.h: one thread per connection, strict
+/// request/response, one frame in -> one frame out. All semantics live in
+/// Service::Submit — the server only moves frames.
+///
+/// Lifecycle: Start() binds and spawns the accept loop; Stop() closes the
+/// listener, shuts down every open connection socket (unblocking readers)
+/// and joins all threads. Serving stops; draining in-flight queries is the
+/// owner's job via Service::Shutdown(), normally sequenced as
+///   service.WaitForShutdownRequest();  // op=shutdown or a signal
+///   service.Shutdown(grace);
+///   server.Stop();
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "service/service.h"
+
+namespace qy::service {
+
+struct ServerOptions {
+  /// Non-empty: listen on this UNIX-domain socket path (takes precedence).
+  std::string unix_path;
+  /// TCP port on 127.0.0.1; 0 = ephemeral (read the bound port back with
+  /// port()).
+  int port = 0;
+  /// Pending-connection backlog.
+  int backlog = 16;
+};
+
+class Server {
+ public:
+  /// `service` is borrowed and must outlive the server.
+  Server(Service* service, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and spawn the accept loop.
+  Status Start();
+
+  /// Close the listener and all connections, join all threads. Idempotent.
+  void Stop();
+
+  /// Bound TCP port (after Start; 0 in UNIX-socket mode).
+  int port() const { return port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+  uint64_t connections_served() const {
+    return connections_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Status Listen();
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Service* service_;
+  const ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::atomic<uint64_t> connections_served_{0};
+};
+
+}  // namespace qy::service

@@ -1,0 +1,133 @@
+/// \file service.h
+/// The concurrent simulation service: one object owning the shared worker
+/// pool, the process-wide memory budget, admission control and the session
+/// map, with a single in-process entry point (Submit) that the socket server
+/// and embedders share.
+///
+/// Request flow for query/simulate:
+///   1. resolve the per-request deadline (timeout_ms -> absolute steady time)
+///   2. find or create the target session
+///   3. pass admission (slot + declared memory cost; FIFO queue on overload)
+///   4. execute inside the session (serialized per session, parallel across
+///      sessions over the shared pool, every reservation charged to the
+///      session budget AND the global budget)
+/// Admission declares each query's cost as its session's memory budget, so
+/// the admission memory budget bounds the worst-case global working set; an
+/// unlimited session budget declares zero (slot-only admission).
+///
+/// Shutdown(grace) is the graceful path: admission closes (queued requests
+/// get kUnavailable), sessions reject new work, in-flight queries get
+/// `grace` to drain and are then cancelled cooperatively. After Shutdown
+/// returns the pool is quiescent and no query is executing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/json.h"
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "service/admission.h"
+#include "service/protocol.h"
+#include "service/session.h"
+
+namespace qy::service {
+
+struct ServiceOptions {
+  /// Width of the shared worker pool. 0 = hardware concurrency, 1 = no pool
+  /// (every session executes serially).
+  size_t num_threads = 0;
+  /// Process-wide memory budget: the global tracker every session nests
+  /// under, and the admission controller's memory dimension.
+  uint64_t memory_budget_bytes = MemoryTracker::kUnlimited;
+  size_t max_concurrent_queries = 4;
+  size_t max_queue_depth = 64;
+  /// Defaults for sessions created without explicit options.
+  SessionOptions session_defaults;
+  /// Idle sessions are garbage-collected after this long; <= 0 disables the
+  /// reaper thread.
+  int64_t session_idle_timeout_ms = 0;
+  /// SELECT responses return at most this many rows over the protocol (the
+  /// rest is reported, not shipped — the frame cap is 16 MiB). In-process
+  /// callers using Session::Execute directly are not truncated.
+  uint64_t max_response_rows = 65536;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Execute one protocol request. Never throws and never returns a broken
+  /// response: all failures are encoded in Response::status (with the
+  /// retryable bit derived from the code). Safe to call from any number of
+  /// threads concurrently.
+  Response Submit(const Request& request);
+
+  /// Graceful shutdown (idempotent): close admission, reject new session
+  /// work, give in-flight queries `grace`, cancel stragglers, drain fully.
+  void Shutdown(std::chrono::milliseconds grace = std::chrono::seconds(5));
+
+  /// Has a client asked for shutdown (op=shutdown)? Submit only records the
+  /// request — the owner (the socket server loop) observes it and calls
+  /// Shutdown(), avoiding a drain-from-within-a-request deadlock.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+  /// Block until shutdown_requested() (or `deadline`, {} = forever).
+  bool WaitForShutdownRequest(
+      std::chrono::steady_clock::time_point deadline = {});
+  /// Record a shutdown request (also what op=shutdown does internally).
+  void RequestShutdown();
+
+  /// One JSON object with admission, session and memory counters — the
+  /// payload of op=stats and of the CLI's --stats-json.
+  JsonValue StatsJson() const;
+
+  SessionManager& sessions() { return *sessions_; }
+  AdmissionController& admission() { return *admission_; }
+  MemoryTracker& tracker() { return tracker_; }
+  ThreadPool* pool() { return pool_.get(); }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  Response HandleQuery(const Request& request,
+                       std::chrono::steady_clock::time_point deadline);
+  Response HandleSimulate(const Request& request,
+                          std::chrono::steady_clock::time_point deadline);
+  Response HandleOpenSession(const Request& request);
+  /// Admission + session lookup shared by query/simulate. On success fills
+  /// `session` and `ticket`.
+  Status AdmitTo(const std::string& session_name,
+                 std::chrono::steady_clock::time_point deadline,
+                 std::shared_ptr<Session>* session,
+                 AdmissionController::Ticket* ticket);
+
+  const ServiceOptions options_;
+  MemoryTracker tracker_;               ///< global budget (parent of sessions)
+  std::unique_ptr<ThreadPool> pool_;    ///< shared; null when num_threads==1
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<SessionManager> sessions_;
+
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> shut_down_{false};
+  mutable std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+
+  std::thread reaper_;                  ///< idle-session GC (optional)
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;
+  bool reaper_stop_ = false;
+};
+
+}  // namespace qy::service

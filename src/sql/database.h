@@ -45,6 +45,16 @@ struct DatabaseOptions {
   /// detected and re-planned when DDL changed a referenced table. 0 disables
   /// caching.
   size_t plan_cache_capacity = 64;
+  /// Borrow an externally owned worker pool instead of spawning one. Lets
+  /// many databases (the query service's sessions) share one process-wide
+  /// pool. Not owned; must outlive the Database. With num_threads == 0 the
+  /// morsel fan-out follows the pool's width. nullptr (the default) keeps
+  /// the owned-pool behavior.
+  ThreadPool* external_pool = nullptr;
+  /// Nest this database's tracker under a process-wide parent: every
+  /// reservation is charged against both budgets (see MemoryTracker). Not
+  /// owned; must outlive the Database.
+  MemoryTracker* parent_tracker = nullptr;
 };
 
 class Database {
@@ -67,9 +77,10 @@ class Database {
   Catalog& catalog() { return catalog_; }
   MemoryTracker& tracker() { return tracker_; }
   TempFileManager& temp_files() { return temp_files_; }
-  /// Worker pool, or nullptr when running serial. Exposed so tests can
-  /// assert the pool is quiescent after a failed or cancelled query.
-  ThreadPool* pool() { return pool_.get(); }
+  /// Worker pool (owned or borrowed), or nullptr when running serial.
+  /// Exposed so tests can assert the pool is quiescent after a failed or
+  /// cancelled query.
+  ThreadPool* pool() { return effective_pool_; }
   const DatabaseOptions& options() const { return options_; }
 
   /// Effective worker-thread count (options().num_threads with 0 resolved
@@ -110,7 +121,8 @@ class Database {
   TempFileManager temp_files_;
   Catalog catalog_;
   size_t num_threads_ = 1;
-  std::unique_ptr<ThreadPool> pool_;  ///< non-null iff num_threads_ > 1
+  std::unique_ptr<ThreadPool> pool_;  ///< owned pool (no external, threads > 1)
+  ThreadPool* effective_pool_ = nullptr;  ///< owned or borrowed; null = serial
   QueryProfile profile_;
   uint64_t total_rows_spilled_ = 0;
   PlanCache plan_cache_;

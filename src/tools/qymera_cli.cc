@@ -9,8 +9,12 @@
 ///                    [--budget-mib=M] [--fuse=K] [--steps]
 ///   qymera compare   <circuit.json | family:name:n> [--budget-mib=M]
 ///   qymera families
+///   qymera serve     [--port=N | --socket=PATH] [--threads=N] ...
+///   qymera connect   [--port=N | --socket=PATH] --sql=S | --simulate=SPEC
+///                    | --stats | --shutdown
 ///
 /// Backends: qymera-sql statevector sparse mps dd sql-string sql-tensor
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +29,9 @@
 #include "common/failpoint.h"
 #include "common/strings.h"
 #include "core/qymera_sim.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/service.h"
 
 namespace {
 
@@ -64,7 +71,27 @@ int Usage() {
                "  --resume         (run) continue from the checkpoint in "
                "--checkpoint-dir instead of starting over\n"
                "  --failpoints=S   arm fault-injection sites, e.g. "
-               "spill/write=io_error,mem/reserve=oom@3 (testing)\n");
+               "spill/write=io_error,mem/reserve=oom@3 (testing)\n"
+               "  --stats-json     (run) print the run summary (incl. plan-"
+               "cache counters) as JSON (qymera-sql)\n"
+               "serve options:\n"
+               "  --port=N         listen on 127.0.0.1:N (0 = ephemeral)\n"
+               "  --socket=PATH    listen on a UNIX socket instead of TCP\n"
+               "  --threads=N      shared worker-pool width\n"
+               "  --budget-mib=M   global memory budget (admission + tracker)\n"
+               "  --session-budget-mib=M  default per-session budget\n"
+               "  --max-concurrent=N      admission slots (default 4)\n"
+               "  --max-queue=N           admission queue depth (default 64)\n"
+               "  --idle-timeout-ms=N     GC sessions idle this long\n"
+               "  --grace-ms=N            shutdown drain grace (default 5000)\n"
+               "connect options:\n"
+               "  --port=N / --host=IP / --socket=PATH   server address\n"
+               "  --session=NAME   target session (default \"default\")\n"
+               "  --sql=STMT       execute one SQL statement\n"
+               "  --simulate=SPEC  run a circuit (file or family:name:n)\n"
+               "  --stats | --shutdown | --close-session\n"
+               "  --timeout-ms=N   per-request deadline\n"
+               "  --stats-json     print the response stats object as JSON\n");
   return 2;
 }
 
@@ -104,6 +131,22 @@ struct CliOptions {
   std::string checkpoint_dir;
   uint64_t checkpoint_every = 0;  ///< 0 = default (1) when a dir is set
   bool resume = false;
+  bool stats_json = false;
+
+  // serve / connect
+  int port = 0;
+  std::string host;
+  std::string socket_path;
+  uint64_t session_budget_mib = 0;
+  size_t max_concurrent = 4;
+  size_t max_queue = 64;
+  int64_t idle_timeout_ms = 0;
+  int64_t grace_ms = 5000;
+  std::string session;
+  std::string sql;
+  std::string simulate;
+  bool shutdown = false;
+  bool close_session = false;
 };
 
 CliOptions ParseFlags(int argc, char** argv, int first) {
@@ -127,6 +170,26 @@ CliOptions ParseFlags(int argc, char** argv, int first) {
     else if (arg.rfind("--checkpoint-every=", 0) == 0)
       out.checkpoint_every = std::strtoull(arg.c_str() + 19, nullptr, 10);
     else if (arg == "--resume") out.resume = true;
+    else if (arg == "--stats-json") out.stats_json = true;
+    else if (arg.rfind("--port=", 0) == 0)
+      out.port = std::atoi(arg.c_str() + 7);
+    else if (arg.rfind("--host=", 0) == 0) out.host = arg.substr(7);
+    else if (arg.rfind("--socket=", 0) == 0) out.socket_path = arg.substr(9);
+    else if (arg.rfind("--session-budget-mib=", 0) == 0)
+      out.session_budget_mib = std::strtoull(arg.c_str() + 21, nullptr, 10);
+    else if (arg.rfind("--max-concurrent=", 0) == 0)
+      out.max_concurrent = std::strtoull(arg.c_str() + 17, nullptr, 10);
+    else if (arg.rfind("--max-queue=", 0) == 0)
+      out.max_queue = std::strtoull(arg.c_str() + 12, nullptr, 10);
+    else if (arg.rfind("--idle-timeout-ms=", 0) == 0)
+      out.idle_timeout_ms = std::strtoll(arg.c_str() + 18, nullptr, 10);
+    else if (arg.rfind("--grace-ms=", 0) == 0)
+      out.grace_ms = std::strtoll(arg.c_str() + 11, nullptr, 10);
+    else if (arg.rfind("--session=", 0) == 0) out.session = arg.substr(10);
+    else if (arg.rfind("--sql=", 0) == 0) out.sql = arg.substr(6);
+    else if (arg.rfind("--simulate=", 0) == 0) out.simulate = arg.substr(11);
+    else if (arg == "--shutdown") out.shutdown = true;
+    else if (arg == "--close-session") out.close_session = true;
   }
   return out;
 }
@@ -242,7 +305,129 @@ int CmdRun(const qc::QuantumCircuit& circuit, const CliOptions& cli) {
     auto* qymera = static_cast<core::QymeraSimulator*>(simulator.get());
     std::printf("%s", qymera->last_operator_profile().c_str());
   }
+  if (cli.stats_json && *backend == bench::Backend::kQymeraSql) {
+    auto* qymera = static_cast<core::QymeraSimulator*>(simulator.get());
+    std::printf("%s\n",
+                core::RunSummaryToJson(qymera->last_summary()).Dump(2).c_str());
+  }
   return 0;
+}
+
+int CmdServe(const CliOptions& cli) {
+  service::ServiceOptions sopts;
+  sopts.num_threads = cli.threads;
+  if (cli.budget_mib > 0) sopts.memory_budget_bytes = cli.budget_mib << 20;
+  sopts.max_concurrent_queries = cli.max_concurrent;
+  sopts.max_queue_depth = cli.max_queue;
+  sopts.session_idle_timeout_ms = cli.idle_timeout_ms;
+  if (cli.session_budget_mib > 0) {
+    sopts.session_defaults.memory_budget_bytes = cli.session_budget_mib << 20;
+  }
+  if (!cli.checkpoint_dir.empty()) {
+    sopts.session_defaults.checkpoint_dir = cli.checkpoint_dir;
+  }
+  service::Service svc(sopts);
+
+  service::ServerOptions ropts;
+  ropts.unix_path = cli.socket_path;
+  ropts.port = cli.port;
+  service::Server server(&svc, ropts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (!cli.socket_path.empty()) {
+    std::printf("qymera serving on %s\n", cli.socket_path.c_str());
+  } else {
+    std::printf("qymera serving on 127.0.0.1:%d\n", server.port());
+  }
+  std::fflush(stdout);
+
+  // Run until a client sends op=shutdown or Ctrl-C. The SIGINT token cannot
+  // wake the condition variable, so wait in slices and poll it.
+  std::signal(SIGINT, HandleSigint);
+  while (!svc.shutdown_requested() && !g_interrupt.cancelled()) {
+    svc.WaitForShutdownRequest(std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(200));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::printf("shutting down (grace %lld ms)...\n",
+              static_cast<long long>(cli.grace_ms));
+  svc.Shutdown(std::chrono::milliseconds(cli.grace_ms));
+  server.Stop();
+  std::printf("%s\n", svc.StatsJson().Dump(2).c_str());
+  return 0;
+}
+
+int PrintResponse(const service::Response& response, bool stats_json) {
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s%s\n", response.status.ToString().c_str(),
+                 response.status.IsRetryable() ? " (retryable)" : "");
+    return 1;
+  }
+  if (!response.columns.empty()) {
+    for (size_t c = 0; c < response.columns.size(); ++c) {
+      std::printf("%s%s", c == 0 ? "" : "\t", response.columns[c].c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : response.rows) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%s%s", c == 0 ? "" : "\t", row[c].c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  if (response.rows_changed > 0) {
+    std::printf("rows_changed=%llu\n",
+                static_cast<unsigned long long>(response.rows_changed));
+  }
+  if (!response.stats.is_null()) {
+    std::printf("%s\n", response.stats.Dump(stats_json ? 2 : -1).c_str());
+  }
+  return 0;
+}
+
+int CmdConnect(const CliOptions& cli) {
+  auto client = cli.socket_path.empty()
+                    ? service::Client::ConnectTcp(cli.host, cli.port)
+                    : service::Client::ConnectUnix(cli.socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  service::Request request;
+  request.session = cli.session;
+  request.timeout_ms = cli.timeout_ms;
+  if (cli.shutdown) {
+    request.op = service::Request::Op::kShutdown;
+  } else if (cli.close_session) {
+    request.op = service::Request::Op::kCloseSession;
+  } else if (!cli.sql.empty()) {
+    request.op = service::Request::Op::kQuery;
+    request.sql = cli.sql;
+  } else if (!cli.simulate.empty()) {
+    auto circuit = LoadCircuit(cli.simulate);
+    if (!circuit.ok()) {
+      std::fprintf(stderr, "cannot load circuit: %s\n",
+                   circuit.status().ToString().c_str());
+      return 1;
+    }
+    request.op = service::Request::Op::kSimulate;
+    request.circuit = qc::CircuitToJson(*circuit, -1);
+  } else if (cli.stats || cli.stats_json) {
+    request.op = service::Request::Op::kStats;
+  } else {
+    request.op = service::Request::Op::kPing;
+  }
+
+  auto response = client->Call(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  return PrintResponse(*response, cli.stats_json);
 }
 
 int CmdCompare(const qc::QuantumCircuit& circuit, const CliOptions& cli) {
@@ -266,6 +451,12 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   if (command == "families") return CmdFamilies();
+  if (command == "serve" || command == "--serve") {
+    return CmdServe(ParseFlags(argc, argv, 2));
+  }
+  if (command == "connect" || command == "--connect") {
+    return CmdConnect(ParseFlags(argc, argv, 2));
+  }
   if (argc < 3) return Usage();
   auto circuit = LoadCircuit(argv[2]);
   if (!circuit.ok()) {
