@@ -1,5 +1,6 @@
 #include "service/protocol.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -9,10 +10,13 @@ namespace qy::service {
 
 namespace {
 
+/// MSG_NOSIGNAL: a peer that disconnected before reading its response must
+/// surface as EPIPE (a plain retryable IoError), not a process-killing
+/// SIGPIPE — nothing in the server installs a SIGPIPE handler per thread.
 Status WriteAll(int fd, const char* data, size_t n) {
   size_t off = 0;
   while (off < n) {
-    ssize_t wrote = ::write(fd, data + off, n - off);
+    ssize_t wrote = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
     if (wrote < 0) {
       if (errno == EINTR) continue;
       return Status::IoError(std::string("socket write failed: ") +
@@ -28,7 +32,7 @@ Status WriteAll(int fd, const char* data, size_t n) {
 Status ReadAll(int fd, char* data, size_t n, bool* got_any) {
   size_t off = 0;
   while (off < n) {
-    ssize_t got = ::read(fd, data + off, n - off);
+    ssize_t got = ::recv(fd, data + off, n - off, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
       return Status::IoError(std::string("socket read failed: ") +

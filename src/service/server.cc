@@ -84,9 +84,19 @@ Status Server::Start() {
 
 void Server::AcceptLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
+    ReapFinished();
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;  // per-connection hiccup; keep serving
+      }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource pressure is transient (connections finishing return
+        // fds); back off instead of abandoning the listener for good.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       // Stop() closed the listener (EBADF/EINVAL) or the socket died.
       return;
     }
@@ -95,9 +105,31 @@ void Server::AcceptLoop() {
       ::close(fd);
       return;
     }
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    uint64_t id = next_conn_id_++;
+    Conn& conn = conns_[id];
+    conn.fd = fd;
+    conn.thread = std::thread([this, id, fd] { ConnectionMain(id, fd); });
   }
+}
+
+void Server::ConnectionMain(uint64_t id, int fd) {
+  ServeConnection(fd);
+  ::shutdown(fd, SHUT_RDWR);
+  bool own_fd = false;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    auto it = conns_.find(id);
+    if (it != conns_.end()) {
+      // Natural finish: retire ourselves so a long-running server does not
+      // accumulate one fd + one unjoined thread per connection ever served.
+      finished_.push_back(std::move(it->second.thread));
+      conns_.erase(it);
+      own_fd = true;
+    }
+    // Otherwise Stop() already claimed the entry; it joins this thread and
+    // then closes the fd, so we must not touch it here.
+  }
+  if (own_fd) ::close(fd);
 }
 
 void Server::ServeConnection(int fd) {
@@ -113,34 +145,55 @@ void Server::ServeConnection(int fd) {
     } else {
       response.status = request.status();
     }
-    if (!WriteFrame(fd, EncodeResponse(response)).ok()) break;
+    std::string encoded = EncodeResponse(response);
+    if (encoded.size() > kMaxFrameBytes) {
+      // A response the frame cannot carry is a property of the query, not
+      // of the connection: send a terminal (non-retryable) error frame
+      // instead of failing the write and dropping the connection, which
+      // the client would misread as a retryable I/O failure.
+      Response too_big;
+      too_big.status = Status::InvalidArgument(
+          "encoded response of " + std::to_string(encoded.size()) +
+          " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+          "-byte frame cap; narrow the query or lower the response limits");
+      encoded = EncodeResponse(too_big);
+    }
+    if (!WriteFrame(fd, encoded).ok()) break;
   }
-  // The fd stays in conn_fds_ for Stop() to shut down; double-shutdown of a
-  // closed-here fd is avoided by closing exactly once, in Stop().
-  ::shutdown(fd, SHUT_RDWR);
+}
+
+void Server::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    done.swap(finished_);
+  }
+  for (auto& t : done) t.join();
 }
 
 void Server::Stop() {
-  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
-  }
+  // Serialize concurrent Stop() calls (e.g. explicit Stop racing the
+  // destructor): joinable()+join() on one std::thread from two threads is a
+  // data race, so the loser simply waits here for the winner to finish.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
   if (listen_fd_ >= 0) {
     // Unblock accept(); on Linux close() alone does not reliably wake it.
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<int> fds;
-  std::vector<std::thread> threads;
+  std::map<uint64_t, Conn> conns;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    fds.swap(conn_fds_);
-    threads.swap(conn_threads_);
+    conns.swap(conns_);
   }
-  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);  // unblock blocked readers
-  for (auto& t : threads) t.join();
-  for (int fd : fds) ::close(fd);
+  // Claimed entries are ours to close: shutdown unblocks blocked readers,
+  // join waits the thread out, then the fd dies exactly once.
+  for (auto& [id, conn] : conns) ::shutdown(conn.fd, SHUT_RDWR);
+  for (auto& [id, conn] : conns) conn.thread.join();
+  for (auto& [id, conn] : conns) ::close(conn.fd);
+  ReapFinished();
   listen_fd_ = -1;
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
 }

@@ -17,6 +17,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -58,21 +60,43 @@ class Server {
   uint64_t connections_served() const {
     return connections_served_.load(std::memory_order_relaxed);
   }
+  /// Connections currently being served. Finished connections leave this
+  /// count (and release their fd) as soon as the peer hangs up — a
+  /// long-running server must not grow per past connection.
+  size_t open_connections() const {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    return conns_.size();
+  }
 
  private:
+  /// A live connection. The fd is closed exactly once, by whoever removes
+  /// the entry from conns_: the connection thread itself on a natural
+  /// finish, or Stop() (after joining the thread) when shutting down.
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+  };
+
   Status Listen();
   void AcceptLoop();
+  /// Thread body: serve frames, then retire this connection (close the fd
+  /// and park the thread handle on finished_ for joining).
+  void ConnectionMain(uint64_t id, int fd);
   void ServeConnection(int fd);
+  /// Join threads of connections that finished on their own.
+  void ReapFinished();
 
   Service* service_;
   const ServerOptions options_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  ///< serializes Stop() against concurrent callers
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  mutable std::mutex conn_mu_;
+  uint64_t next_conn_id_ = 0;
+  std::map<uint64_t, Conn> conns_;      ///< still serving
+  std::vector<std::thread> finished_;   ///< done serving, awaiting join
   std::atomic<uint64_t> connections_served_{0};
 };
 

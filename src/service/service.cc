@@ -71,6 +71,13 @@ Status Service::AdmitTo(const std::string& session_name,
   QueryContext wait_ctx;
   if (deadline != Clock::time_point{}) wait_ctx.SetDeadline(deadline);
   QY_ASSIGN_OR_RETURN(*ticket, admission_->Admit(declared, &wait_ctx));
+  // The admission wait can outlast the idle timeout, and the reaper only
+  // looks at last_used/in_flight — it cannot see a request queued for this
+  // session. Re-resolve after the grant (preserving the options we admitted
+  // under) so a sweep during the wait recreates the session instead of
+  // failing the admitted request with kUnavailable.
+  QY_ASSIGN_OR_RETURN(
+      *session, sessions_->GetOrCreate(session_name, (*session)->options()));
   return Status::OK();
 }
 
@@ -94,15 +101,25 @@ Response Service::HandleQuery(const Request& request,
       response.columns.push_back(schema.column(c).name);
     }
     uint64_t total = rows.NumRows();
-    uint64_t shipped = std::min<uint64_t>(total, options_.max_response_rows);
-    response.rows.reserve(shipped);
-    for (uint64_t r = 0; r < shipped; ++r) {
+    uint64_t row_cap = std::min<uint64_t>(total, options_.max_response_rows);
+    // Cap by bytes as well as rows: wide rows must not encode past the
+    // frame cap. The estimate (cell bytes + per-cell JSON overhead) is
+    // approximate; the server holds a hard line at kMaxFrameBytes.
+    uint64_t bytes = 0;
+    uint64_t shipped = 0;
+    response.rows.reserve(row_cap);
+    for (uint64_t r = 0; r < row_cap; ++r) {
       std::vector<std::string> cells;
       cells.reserve(schema.NumColumns());
+      uint64_t row_bytes = 2;
       for (size_t c = 0; c < schema.NumColumns(); ++c) {
         cells.push_back(rows.GetString(r, c));
+        row_bytes += cells.back().size() + 8;
       }
+      if (bytes + row_bytes > options_.max_response_bytes) break;
+      bytes += row_bytes;
       response.rows.push_back(std::move(cells));
+      ++shipped;
     }
     if (shipped < total) {
       JsonValue stats{JsonValue::Object{}};

@@ -54,10 +54,13 @@ struct ServiceOptions {
   /// Idle sessions are garbage-collected after this long; <= 0 disables the
   /// reaper thread.
   int64_t session_idle_timeout_ms = 0;
-  /// SELECT responses return at most this many rows over the protocol (the
-  /// rest is reported, not shipped — the frame cap is 16 MiB). In-process
-  /// callers using Session::Execute directly are not truncated.
+  /// SELECT responses return at most this many rows AND roughly this many
+  /// payload bytes over the protocol (the rest is reported, not shipped) so
+  /// wide rows cannot encode past the 16 MiB frame cap — the byte default
+  /// leaves headroom for JSON escaping and framing. In-process callers using
+  /// Session::Execute directly are not truncated.
   uint64_t max_response_rows = 65536;
+  uint64_t max_response_bytes = 8ull << 20;
 };
 
 class Service {

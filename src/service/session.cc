@@ -42,6 +42,10 @@ std::chrono::steady_clock::time_point Session::last_used() const {
       Clock::duration(last_used_ns_.load(std::memory_order_relaxed)));
 }
 
+void Session::Touch() {
+  last_used_ns_.store(NowNs(), std::memory_order_relaxed);
+}
+
 Status Session::AcquireExec(std::chrono::steady_clock::time_point deadline) {
   // The per-request deadline keeps ticking while waiting for the session's
   // turn: a request stuck behind a long query in the same session times out
@@ -180,7 +184,10 @@ Result<std::shared_ptr<Session>> SessionManager::GetOrCreate(
     return Status::Unavailable("service is shutting down");
   }
   auto it = sessions_.find(key);
-  if (it != sessions_.end()) return it->second;
+  if (it != sessions_.end()) {
+    it->second->Touch();  // resolving for a request counts as use
+    return it->second;
+  }
   auto session =
       std::make_shared<Session>(key, options, pool_, global_tracker_);
   sessions_.emplace(key, session);

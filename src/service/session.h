@@ -88,6 +88,10 @@ class Session {
   /// Steady-clock time of the last completed request (creation time before
   /// any), for idle GC.
   std::chrono::steady_clock::time_point last_used() const;
+  /// Refresh last_used() without running a query — resolving a session for
+  /// an incoming request counts as use, keeping the idle GC off sessions a
+  /// client is actively targeting.
+  void Touch();
   uint64_t queries_executed() const {
     return queries_executed_.load(std::memory_order_relaxed);
   }

@@ -314,6 +314,9 @@ int CmdRun(const qc::QuantumCircuit& circuit, const CliOptions& cli) {
 }
 
 int CmdServe(const CliOptions& cli) {
+  // Protocol writes use MSG_NOSIGNAL, but ignore SIGPIPE process-wide too so
+  // no future socket/pipe write can take down every session in the server.
+  std::signal(SIGPIPE, SIG_IGN);
   service::ServiceOptions sopts;
   sopts.num_threads = cli.threads;
   if (cli.budget_mib > 0) sopts.memory_budget_bytes = cli.budget_mib << 20;

@@ -4,6 +4,7 @@
 /// (naming, serialization, idle GC, graceful shutdown), the Service::Submit
 /// dispatch, and a socket client/server round trip.
 #include <gtest/gtest.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -497,6 +498,34 @@ TEST(ServiceTest, SubmitTruncatesOversizedResults) {
   EXPECT_EQ(rows.stats.Find("returned_rows")->AsInt(), 3);
 }
 
+TEST(ServiceTest, SubmitTruncatesByByteBudget) {
+  // Wide results are capped by encoded bytes, not only by row count, so a
+  // response can never outgrow the wire frame cap by being wide per row.
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.max_response_bytes = 40;  // estimate: 11 bytes per 1-digit row
+  Service svc(options);
+
+  Request create;
+  create.op = Request::Op::kQuery;
+  create.sql = "CREATE TABLE t (x BIGINT)";
+  ASSERT_TRUE(svc.Submit(create).ok());
+  Request insert;
+  insert.op = Request::Op::kQuery;
+  insert.sql = "INSERT INTO t VALUES (1), (2), (3), (4), (5)";
+  ASSERT_TRUE(svc.Submit(insert).ok());
+  Request select;
+  select.op = Request::Op::kQuery;
+  select.sql = "SELECT x FROM t ORDER BY x";
+  Response rows = svc.Submit(select);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.rows.size(), 3u);
+  ASSERT_TRUE(rows.stats.is_object());
+  EXPECT_EQ(rows.stats.Find("total_rows")->AsInt(), 5);
+  EXPECT_EQ(rows.stats.Find("returned_rows")->AsInt(), 3);
+  EXPECT_TRUE(rows.stats.Find("truncated")->AsBool());
+}
+
 TEST(ServiceTest, OpenSessionAppliesBudgetAndStatsReportIt) {
   ServiceOptions options;
   options.num_threads = 1;
@@ -546,6 +575,154 @@ TEST(ServiceTest, ShutdownOpOnlyRequestsShutdown) {
 
 // ---------------------------------------------------------------------------
 // Socket server + client end to end.
+
+/// Raw loopback TCP connect, bypassing Client (for misbehaving-peer tests).
+int ConnectRaw(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(ServiceServerTest, ClientDisconnectBeforeReadingResponseIsHarmless) {
+  // Regression: the response write to a peer that already hung up used to
+  // raise SIGPIPE (default disposition: terminate), letting one misbehaving
+  // client kill the whole server. With MSG_NOSIGNAL it is a per-connection
+  // EPIPE and everyone else keeps being served.
+  ServiceOptions options;
+  options.num_threads = 1;
+  Service svc(options);
+  service::ServerOptions sopts;  // port 0 = ephemeral
+  service::Server server(&svc, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Request create;
+  create.op = Request::Op::kQuery;
+  create.sql = "CREATE TABLE t (x BIGINT)";
+  for (int i = 0; i < 8; ++i) {
+    int fd = ConnectRaw(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(service::WriteFrame(fd, service::EncodeRequest(create)).ok());
+    ::close(fd);  // vanish before the server can respond
+  }
+
+  // The server survived and still serves well-behaved clients.
+  auto client = service::Client::ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Request ping;
+  auto pong = client->Call(ping);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_TRUE(pong->ok());
+
+  svc.Shutdown(100ms);
+  server.Stop();
+}
+
+TEST(ServiceServerTest, FinishedConnectionsAreReapedWithoutStop) {
+  // Regression: per-connection fds/threads were only released in Stop(), so
+  // a long-running server leaked one fd + one thread per connection served.
+  ServiceOptions options;
+  options.num_threads = 1;
+  Service svc(options);
+  service::ServerOptions sopts;
+  service::Server server(&svc, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kConnections = 6;
+  for (int i = 0; i < kConnections; ++i) {
+    auto client = service::Client::ConnectTcp("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    Request ping;
+    ASSERT_TRUE(client->Call(ping).value().ok());
+    client->Close();
+  }
+
+  // Each connection retires itself once its peer hangs up (no Stop needed).
+  auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (server.open_connections() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(server.open_connections(), 0u);
+  EXPECT_EQ(server.connections_served(), static_cast<uint64_t>(kConnections));
+
+  svc.Shutdown(100ms);
+  server.Stop();
+}
+
+TEST(ServiceServerTest, OversizedResponseIsTerminalErrorNotHangup) {
+  // A result too large for the 16 MiB frame must come back as one terminal
+  // (non-retryable) error frame on a still-usable connection — not a failed
+  // write that drops the connection and masquerades as a retryable IoError.
+  ServiceOptions options;
+  options.num_threads = 1;
+  // Let the row/byte limits pass so the encoded frame itself overflows (the
+  // byte estimate is pre-escaping; this models it being beaten badly).
+  options.max_response_rows = 5'000'000;
+  options.max_response_bytes = 64ull << 20;
+  Service svc(options);
+  service::ServerOptions sopts;
+  service::Server server(&svc, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = service::Client::ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  Request create;
+  create.op = Request::Op::kQuery;
+  create.sql = "CREATE TABLE t (k BIGINT, x BIGINT)";
+  ASSERT_TRUE(client->Call(create).value().ok());
+  // 1024 rows sharing one key self-join to 1M rows of 5-digit cells:
+  // ~19 MiB encoded, decisively past the 16 MiB frame cap.
+  std::string insert_sql = "INSERT INTO t VALUES ";
+  for (int i = 0; i < 1024; ++i) {
+    insert_sql += (i == 0 ? "" : ", ");
+    insert_sql += "(1, " + std::to_string(10000 + i) + ")";
+  }
+  Request insert;
+  insert.op = Request::Op::kQuery;
+  insert.sql = insert_sql;
+  ASSERT_TRUE(client->Call(insert).value().ok());
+
+  Request select;
+  select.op = Request::Op::kQuery;
+  select.sql = "SELECT a.x, b.x FROM t a JOIN t b ON a.k = b.k";
+  auto huge = client->Call(select);
+  ASSERT_TRUE(huge.ok()) << huge.status().ToString();
+  EXPECT_EQ(huge->status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(huge->status.IsRetryable());
+
+  // The connection is not poisoned: the next request round-trips normally.
+  Request ping;
+  auto pong = client->Call(ping);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_TRUE(pong->ok());
+
+  svc.Shutdown(100ms);
+  server.Stop();
+}
+
+TEST(ServiceServerTest, ConcurrentStopIsSafe) {
+  Service svc(ServiceOptions{});
+  service::ServerOptions sopts;
+  service::Server server(&svc, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = service::Client::ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  // Explicit Stop racing another Stop (as the destructor would): both must
+  // return with all threads joined exactly once.
+  std::thread a([&] { server.Stop(); });
+  std::thread b([&] { server.Stop(); });
+  a.join();
+  b.join();
+  EXPECT_EQ(server.open_connections(), 0u);
+}
 
 TEST(ServiceServerTest, TcpRoundTrip) {
   ServiceOptions options;
